@@ -1,0 +1,66 @@
+"""Ablation: adaptive prefetch suppression (Section 4.3.1 future work).
+
+"We can generate code that dynamically adapts its behavior by comparing
+its problem size with the available memory at run-time, and suppressing
+prefetches (after the cold faults have been prefetched in) if the data
+fits within memory."  Implemented in the run-time layer (suppression
+windows entered after long fully-filtered streaks); this bench shows it
+removing most of the in-core overhead of Figure 6 without costing the
+out-of-core runs anything.
+"""
+
+from __future__ import annotations
+
+from conftest import CANONICAL_PLATFORM, run_once
+
+from repro.apps.registry import get_app
+from repro.harness.experiment import compare_app
+from repro.harness.report import render_table
+
+
+def _run_matrix():
+    rows = []
+    measurements = {}
+    for app_name, memory_multiple, warm in (
+        ("BUK", 0.35, True),
+        ("CGM", 0.35, True),
+        ("BUK", 2.0, False),
+    ):
+        spec = get_app(app_name)
+        pages = max(8, int(CANONICAL_PLATFORM.available_frames * memory_multiple))
+        result = compare_app(
+            spec, CANONICAL_PLATFORM, data_pages=pages, warm=warm,
+            include_adaptive=True,
+        )
+        p = result.prefetch.stats
+        ad = result.extras["P-adaptive"].stats
+        key = (app_name, memory_multiple, warm)
+        measurements[key] = (p, ad, result.original.stats)
+        rows.append([
+            app_name,
+            f"{memory_multiple:.2f}x mem" + (" warm" if warm else " cold"),
+            f"{p.elapsed_us / 1e6:.2f}s",
+            f"{ad.elapsed_us / 1e6:.2f}s",
+            ad.prefetch.suppressed,
+            f"{ad.times.user_overhead / 1e6:.2f}s vs {p.times.user_overhead / 1e6:.2f}s",
+        ])
+    return rows, measurements
+
+
+def test_ablation_adaptive_suppression(benchmark, report):
+    rows, measurements = run_once(benchmark, _run_matrix)
+    report("ablation_adaptive", render_table(
+        ["app", "configuration", "P time", "P-adaptive time",
+         "suppressed", "overhead (adaptive vs plain)"],
+        rows,
+        title="Ablation: adaptive prefetch suppression (Section 4.3.1)",
+    ))
+
+    # In-core warm runs: most of the overhead disappears.
+    for key in (("BUK", 0.35, True), ("CGM", 0.35, True)):
+        p, ad, _ = measurements[key]
+        assert ad.prefetch.suppressed > 0, key
+        assert ad.times.user_overhead < 0.5 * p.times.user_overhead, key
+    # Out-of-core: suppression never engages enough to hurt.
+    p, ad, _ = measurements[("BUK", 2.0, False)]
+    assert ad.elapsed_us < p.elapsed_us * 1.05

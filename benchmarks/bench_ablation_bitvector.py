@@ -1,0 +1,52 @@
+"""Ablation: bit-vector granularity.
+
+"The granularity of the bit vector is determined by the run-time layer at
+program start-up" (Section 2.4).  Coarser bits cover more pages per check
+but are approximate: a resident sibling can mask a non-resident page
+(dropped prefetch -> later fault), and one eviction clears a whole group's
+bit (spurious reissues).  Hints are non-binding, so correctness never
+changes -- only performance.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.apps.registry import get_app
+from repro.config import PlatformConfig
+from repro.harness.experiment import compare_app
+from repro.harness.report import render_table
+
+GRANULARITIES = [1, 4, 16]
+
+
+def _sweep():
+    spec = get_app("BUK")
+    rows = []
+    elapsed = {}
+    for gran in GRANULARITIES:
+        platform = PlatformConfig(bitvector_granularity=gran)
+        cmp_result = compare_app(spec, platform)
+        p = cmp_result.prefetch.stats
+        elapsed[gran] = p.elapsed_us
+        rows.append([
+            gran,
+            f"{cmp_result.speedup:.2f}x",
+            p.prefetch.filtered,
+            p.prefetch.issued_pages,
+            p.faults.actual_faults,
+        ])
+    return rows, elapsed
+
+
+def test_ablation_bitvector_granularity(benchmark, report):
+    rows, elapsed = run_once(benchmark, _sweep)
+    report("ablation_bitvector", render_table(
+        ["pages per bit", "speedup", "filtered", "issued to OS",
+         "remaining faults"],
+        rows,
+        title="Ablation: residency bit-vector granularity (BUK)",
+    ))
+    # Every granularity must still be a large win over no prefetching,
+    # and fine granularity must not lose to the coarse settings.
+    assert elapsed[1] <= min(elapsed.values()) * 1.1

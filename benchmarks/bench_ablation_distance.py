@@ -1,0 +1,64 @@
+"""Ablation: software-pipelining prefetch distance.
+
+The compiler schedules prefetches ``ceil(latency / strip_time)`` strips
+ahead (Section 2.3).  Too short a distance leaves latency exposed
+(prefetched faults: "not issued early enough", Section 4.1.1); a generous
+cap mostly just occupies frames earlier.
+"""
+
+from __future__ import annotations
+
+from conftest import CANONICAL_PLATFORM, run_once
+
+from repro.apps.registry import get_app
+from repro.core.options import CompilerOptions
+from repro.harness.experiment import compare_app
+from repro.harness.report import render_table
+
+DISTANCE_CAPS = [1, 2, 4, 8, 16]
+
+
+def _sweep():
+    spec = get_app("EMBAR")
+    rows = []
+    stalls = {}
+    for cap in DISTANCE_CAPS:
+        options = CompilerOptions.from_platform(
+            CANONICAL_PLATFORM,
+            min_distance_strips=min(cap, 1),
+            max_distance_strips=cap,
+        )
+        cmp_result = compare_app(spec, CANONICAL_PLATFORM, options=options)
+        p = cmp_result.prefetch.stats
+        stalls[cap] = p.times.stall_read
+        rows.append([
+            cap,
+            f"{cmp_result.speedup:.2f}x",
+            p.faults.prefetched_hit,
+            p.faults.prefetched_fault,
+            f"{p.times.stall_read / 1e6:.2f}s",
+        ])
+    return rows, stalls
+
+
+def test_ablation_prefetch_distance(benchmark, report):
+    rows, stalls = run_once(benchmark, _sweep)
+    report("ablation_distance", render_table(
+        ["max distance (strips)", "speedup", "prefetched hits",
+         "prefetched faults", "read stall"],
+        rows,
+        title="Ablation: prefetch distance cap (EMBAR)",
+    ))
+    # Every distance hides the vast majority of the latency (sequential
+    # streams are cheap to fetch), and beyond the compiler's naturally
+    # computed distance the results plateau.  Note the measured finding:
+    # the conservative fault-latency estimate makes the computed distance
+    # an overshoot for pure sequential streams, so the shortest pipeline
+    # is marginally the best -- prefetching "too early" has a real cost,
+    # as the paper observes for pages flushed before use.
+    assert all(speedup_row_is_large(r) for r in rows), rows
+    assert stalls[8] == stalls[16], stalls
+
+
+def speedup_row_is_large(row) -> bool:
+    return float(row[1].rstrip("x")) > 2.0

@@ -1,0 +1,64 @@
+"""Ablation: release operations.
+
+Releases are the paper's memory-footprint mechanism (Sections 2.1, 4.2):
+with them, streaming applications keep only the window in use resident;
+without them, the same data fills memory and the page-out daemon must
+discover dead pages by LRU.
+"""
+
+from __future__ import annotations
+
+from conftest import CANONICAL_PLATFORM, run_once
+
+from repro.apps.registry import get_app
+from repro.core.options import CompilerOptions
+from repro.harness.experiment import compare_app
+from repro.harness.report import render_table
+
+POLICIES = ["none", "streaming", "aggressive"]
+
+
+def _sweep(app_name: str):
+    spec = get_app(app_name)
+    rows = []
+    free_by_policy = {}
+    for policy in POLICIES:
+        options = CompilerOptions.from_platform(
+            CANONICAL_PLATFORM, release_policy=policy
+        )
+        cmp_result = compare_app(spec, CANONICAL_PLATFORM, options=options)
+        p = cmp_result.prefetch.stats
+        free = p.memory.avg_free_fraction(p.elapsed_us)
+        free_by_policy[policy] = free
+        rows.append([
+            policy,
+            f"{cmp_result.speedup:.2f}x",
+            p.release.pages_released,
+            f"{100 * free:.0f}%",
+            p.memory.evictions,
+            p.disk.writes,
+        ])
+    return rows, free_by_policy
+
+
+def test_ablation_release_policy_buk(benchmark, report):
+    rows, free = run_once(benchmark, lambda: _sweep("BUK"))
+    report("ablation_release_buk", render_table(
+        ["release policy", "speedup", "pages released", "avg free memory",
+         "evictions", "disk writes"],
+        rows,
+        title="Ablation: release policy (BUK)",
+    ))
+    # Releases are what keep memory free (Table 3's BUK/EMBAR contrast).
+    assert free["streaming"] > free["none"] + 0.3, free
+
+
+def test_ablation_release_policy_embar(benchmark, report):
+    rows, free = run_once(benchmark, lambda: _sweep("EMBAR"))
+    report("ablation_release_embar", render_table(
+        ["release policy", "speedup", "pages released", "avg free memory",
+         "evictions", "disk writes"],
+        rows,
+        title="Ablation: release policy (EMBAR)",
+    ))
+    assert free["streaming"] > free["none"] + 0.3, free

@@ -1,0 +1,44 @@
+"""Figure 4(a): effectiveness of the compiler analysis.
+
+Breakdown of the original page faults under prefetching: prefetched and
+eliminated (hit), prefetched but still faulting (late/dropped/evicted),
+and not prefetched at all.  Paper shapes: coverage above 75% for every
+application except APPBT, above 99% for several.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.report import render_table
+
+
+def test_fig4a_fault_coverage(benchmark, canonical, report):
+    results = run_once(benchmark, canonical.all)
+    rows = []
+    for cmp_result in results:
+        f = cmp_result.prefetch.stats.faults
+        total = max(1, f.total_faults)
+        rows.append([
+            cmp_result.app,
+            f.total_faults,
+            f"{100 * f.prefetched_hit / total:.1f}%",
+            f"{100 * f.prefetched_fault / total:.1f}%",
+            f"{100 * f.nonprefetched_fault / total:.1f}%",
+            f"{100 * f.coverage:.1f}%",
+        ])
+    report("fig4a_coverage", render_table(
+        ["app", "orig faults", "prefetched hit", "prefetched fault",
+         "non-prefetched fault", "coverage"],
+        rows,
+        title="Figure 4(a): impact of prefetching on the original page faults",
+    ))
+
+    coverage = {
+        cmp_result.app: cmp_result.prefetch.stats.faults.coverage
+        for cmp_result in results
+    }
+    # Paper: >75% everywhere except APPBT; >99% in four applications.
+    assert all(c > 0.75 for app, c in coverage.items() if app != "APPBT"), coverage
+    assert coverage["APPBT"] < 0.75
+    assert sum(1 for c in coverage.values() if c > 0.97) >= 4

@@ -1,0 +1,46 @@
+"""Figure 4(c): performance without the run-time layer.
+
+Every compiler-inserted prefetch becomes a system call.  Paper shape: half
+the applications (BUK, CGM, FFT, APPSP in the paper) run *slower than the
+original non-prefetching version*, because dropping an unnecessary
+prefetch in the run-time layer costs ~1% of issuing it to the OS -- "the
+run-time layer is clearly essential".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.report import render_table
+
+
+def test_fig4c_removing_the_runtime_layer(benchmark, canonical, report):
+    results = run_once(benchmark, canonical.all)
+    rows = []
+    slower_than_original = []
+    for cmp_result in results:
+        o = cmp_result.original.stats
+        p = cmp_result.prefetch.stats
+        nf = cmp_result.extras["P-nofilter"].stats
+        speedup_nf = o.elapsed_us / nf.elapsed_us
+        rows.append([
+            cmp_result.app,
+            f"{cmp_result.speedup:.2f}x",
+            f"{speedup_nf:.2f}x",
+            f"{nf.elapsed_us / p.elapsed_us:.1f}x",
+            f"{nf.times.system / 1e6:.1f}s",
+        ])
+        if speedup_nf < 1.0:
+            slower_than_original.append(cmp_result.app)
+    report("fig4c_nofilter", render_table(
+        ["app", "P speedup", "no-filter speedup", "no-filter vs P",
+         "no-filter system time"],
+        rows,
+        title="Figure 4(c): performance without the run-time layer",
+    ))
+
+    # Paper: the indirect-heavy applications become slower than the
+    # original without filtering.
+    assert "BUK" in slower_than_original
+    assert "CGM" in slower_than_original
+    assert len(slower_than_original) >= 2

@@ -1,0 +1,51 @@
+"""Table 3: memory sub-system activity and amount of free memory.
+
+Paper shape: most applications carry few release operations, but where
+the compiler does insert them (BUK and EMBAR) "a large percentage of
+memory is kept free at all times since only the portion of the data set
+actually being used is kept in memory".
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.harness.report import render_table
+
+
+def test_table3_memory_activity(benchmark, canonical, report):
+    results = run_once(benchmark, canonical.all)
+    rows = []
+    free_by_app = {}
+    releases_by_app = {}
+    for cmp_result in results:
+        o = cmp_result.original.stats
+        p = cmp_result.prefetch.stats
+        free = p.memory.avg_free_fraction(p.elapsed_us)
+        free_by_app[cmp_result.app] = free
+        releases_by_app[cmp_result.app] = p.release.pages_released
+        rows.append([
+            cmp_result.app,
+            p.release.calls,
+            p.release.pages_released,
+            p.release.writebacks,
+            p.memory.evictions,
+            o.memory.evictions,
+            f"{100 * o.memory.avg_free_fraction(o.elapsed_us):.0f}%",
+            f"{100 * free:.0f}%",
+        ])
+    report("table3_memory", render_table(
+        ["app", "release calls", "pages released", "release writebacks",
+         "P evictions", "O evictions", "O free mem", "P free mem"],
+        rows,
+        title="Table 3: memory sub-system activity and free memory",
+    ))
+
+    # BUK and EMBAR release aggressively and keep most memory free.
+    for app in ("BUK", "EMBAR"):
+        assert releases_by_app[app] > 1000, app
+        assert free_by_app[app] > 0.6, (app, free_by_app[app])
+    # The stencil/sweep codes have no releases and little free memory.
+    for app in ("MGRID", "APPLU", "APPSP"):
+        assert releases_by_app[app] == 0, app
+        assert free_by_app[app] < 0.3, (app, free_by_app[app])

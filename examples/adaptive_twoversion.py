@@ -1,0 +1,65 @@
+"""Symbolic loop bounds, lost coverage, and the two-version-loop fix.
+
+Reproduces the paper's APPBT pathology end to end (Section 4.1.1): an
+inner loop whose bound only exists at run time makes the compiler pipeline
+prefetches across the wrong loop, so "the software pipeline never gets
+started" and coverage craters.  The paper's proposed fix -- compile two
+versions of the loop and pick one with a runtime bound test -- is
+implemented in this package and demonstrated here.
+
+Run:  python examples/adaptive_twoversion.py
+"""
+
+from __future__ import annotations
+
+from repro import CompilerOptions, PlatformConfig, insert_prefetches
+from repro.apps.registry import get_app
+from repro.core.ir.nodes import If
+from repro.core.ir.printer import format_program
+from repro.harness.experiment import compare_app
+
+
+def main() -> None:
+    platform = PlatformConfig()
+    spec = get_app("APPBT")
+
+    print("APPBT's 5x5 block solves hide their loop bound from the compiler:")
+    print("the grid array is declared u[.][.][.][B] with B a runtime argument.\n")
+
+    baseline_opts = CompilerOptions.from_platform(platform)
+    fixed_opts = CompilerOptions.from_platform(platform, two_version_loops=True)
+
+    baseline = compare_app(spec, platform, options=baseline_opts)
+    fixed = compare_app(spec, platform, options=fixed_opts)
+
+    print("=== Baseline pass (assumes symbolic trips are large) ===")
+    f = baseline.prefetch.stats.faults
+    print(f"  coverage: {100 * f.coverage:.0f}%  "
+          f"speedup: {baseline.speedup:.2f}x  "
+          f"(missed faults: {f.nonprefetched_fault})")
+    print()
+
+    print("=== Two-version loops (the Section 4.1.1 fix) ===")
+    f = fixed.prefetch.stats.faults
+    print(f"  coverage: {100 * f.coverage:.0f}%  "
+          f"speedup: {fixed.speedup:.2f}x  "
+          f"(missed faults: {f.nonprefetched_fault})")
+    print()
+
+    # Show the runtime test the fix emits.
+    compiled = insert_prefetches(spec.make(64), fixed_opts)
+    guard = next(
+        (stmt for stmt in compiled.program.body if isinstance(stmt, If)), None
+    )
+    if guard is not None:
+        text = format_program(compiled.program, include_decls=False)
+        first_if = next(
+            line for line in text.splitlines() if line.lstrip().startswith("if")
+        )
+        print("The generated code chooses a version at run time:")
+        print(f"  {first_if.strip()}")
+        print("  ... <large-trip pipelining> ... else ... <small-trip pipelining> ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Hiding DSM page-fetch latency with the unchanged compiler pass.
+
+The paper's Section 6 proposes applying the same compiler technology to
+distributed shared memory: the "disk" becomes a set of remote home nodes,
+a page fault becomes a remote fetch over the network, and nothing about
+the compiler, hints, or run-time layer changes.
+
+This example runs the same stencil program on the disk platform and on a
+4-node DSM platform, compiling once per platform (the pass picks its
+prefetch distance from the platform's fault latency).
+
+Run:  python examples/dsm_prefetch.py
+"""
+
+from __future__ import annotations
+
+from repro import CompilerOptions, Machine, PlatformConfig, insert_prefetches, run_program
+from repro.apps import synthetic
+from repro.harness.report import render_table
+
+
+def run_on(platform: PlatformConfig, label: str, rows: list) -> None:
+    # A 2x-memory stencil sweep: the same source program each time.
+    nelems = 2 * platform.available_frames * 512
+    program = synthetic.stencil1d(nelems, radius=2, cost_us=8.0)
+    options = CompilerOptions.from_platform(platform)
+    compiled = insert_prefetches(program, options)
+
+    stats_o = run_program(program, Machine(platform, prefetching=False))
+    stats_p = run_program(compiled.program, Machine(platform, prefetching=True))
+    rows.append([
+        label,
+        f"{platform.average_fault_latency_us() / 1000:.1f} ms",
+        f"{stats_o.elapsed_us / 1e6:.2f} s",
+        f"{stats_p.elapsed_us / 1e6:.2f} s",
+        f"{stats_o.elapsed_us / stats_p.elapsed_us:.2f}x",
+        f"{100 * (1 - stats_p.times.idle / max(stats_o.times.idle, 1e-9)):.0f}%",
+    ])
+
+
+def main() -> None:
+    rows: list = []
+    run_on(PlatformConfig(), "7 local disks", rows)
+    run_on(PlatformConfig.dsm(home_nodes=4), "4 DSM home nodes", rows)
+    print(render_table(
+        ["substrate", "fault latency", "paged VM", "prefetching",
+         "speedup", "stall eliminated"],
+        rows,
+        title="Same compiler pass, two latency domains (paper Section 6)",
+    ))
+    print()
+    print("The pass re-derives its prefetch distance from each platform's")
+    print("fault latency; the program and every mechanism stay identical.")
+
+
+if __name__ == "__main__":
+    main()

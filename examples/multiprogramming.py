@@ -1,0 +1,73 @@
+"""Multiprogramming: two out-of-core applications sharing one machine.
+
+The paper's Section 6 looks ahead to multiprogrammed workloads.  This
+example co-schedules two applications on one simulated machine (one CPU,
+one memory, one disk array) and shows the two headline effects:
+
+1. co-scheduling alone already overlaps some paging stall (one process
+   computes while the other waits on the disks) -- and compiler-inserted
+   prefetching still wins on top of it;
+2. an application that releases behind itself (EMBAR) keeps most of
+   memory free *while running with a neighbour*, leaving instant room
+   for further arrivals.
+
+Run:  python examples/multiprogramming.py
+"""
+
+from __future__ import annotations
+
+from repro import CompilerOptions, PlatformConfig, insert_prefetches
+from repro.apps.registry import get_app
+from repro.harness.report import render_table
+from repro.multiprog import CoScheduler
+
+
+def run_pair(platform, prefetching: bool):
+    options = CompilerOptions.from_platform(platform)
+    sched = CoScheduler(platform)
+    for k, app_name in enumerate(("EMBAR", "MGRID")):
+        program = get_app(app_name).make(
+            2 * platform.available_frames, seed=k + 1
+        )
+        if prefetching:
+            program = insert_prefetches(program, options).program
+        sched.add_process(program, name=app_name, prefetching=prefetching)
+    return sched.run()
+
+
+def main() -> None:
+    platform = PlatformConfig()
+    rows = []
+    for label, prefetching in (("paged VM", False), ("prefetching", True)):
+        result = run_pair(platform, prefetching)
+        free = result.stats.memory.avg_free_fraction(result.elapsed_us)
+        for proc in result.processes:
+            rows.append([
+                label,
+                proc.name,
+                f"{proc.finish_us / 1e6:.2f}s",
+                f"{proc.cpu_us / 1e6:.2f}s",
+                f"{proc.blocked_us / 1e6:.2f}s",
+                f"{proc.queued_us / 1e6:.2f}s",
+            ])
+        rows.append([
+            label, "(machine)",
+            f"{result.elapsed_us / 1e6:.2f}s",
+            f"idle {100 * result.times.idle / result.elapsed_us:.0f}%",
+            f"free mem {100 * free:.0f}%",
+            "",
+        ])
+    print(render_table(
+        ["variant", "process", "finish", "cpu", "blocked on I/O",
+         "waiting for CPU"],
+        rows,
+        title="EMBAR + MGRID sharing one machine",
+    ))
+    print()
+    print("Prefetching converts 'blocked on I/O' into 'waiting for CPU':")
+    print("the machine stops idling, and EMBAR's releases keep memory free")
+    print("for whoever arrives next.")
+
+
+if __name__ == "__main__":
+    main()

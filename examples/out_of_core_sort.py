@@ -1,0 +1,59 @@
+"""Out-of-core bucket sort: the paper's BUK case study (Figure 8).
+
+A scientist writes a plain bucket sort over keys that no longer fit in
+memory.  Without prefetching, execution time jumps discontinuously the
+moment the keys outgrow memory; with compiler-inserted prefetching the
+same source code keeps scaling almost linearly -- and the release hints
+keep most of memory free for other applications while it runs.
+
+Run:  python examples/out_of_core_sort.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import get_app
+from repro.config import PlatformConfig
+from repro.harness.experiment import compare_app
+from repro.harness.report import ascii_bars, render_table
+
+
+def main() -> None:
+    platform = PlatformConfig(memory_pages=192)  # 144 app frames
+    spec = get_app("BUK")
+    available = platform.available_frames
+
+    print("Sorting ever larger key sets on a machine with "
+          f"{platform.available_bytes // 1024} KB of application memory\n")
+
+    rows = []
+    labels, values = [], []
+    for multiple in (0.5, 0.75, 1.0, 1.5, 2.0, 3.0):
+        pages = int(available * multiple)
+        result = compare_app(spec, platform, data_pages=pages)
+        rows.append([
+            f"{multiple:.2f}x memory",
+            f"{pages * platform.page_size // 1024} KB",
+            f"{result.original.elapsed_us / 1e6:.2f}s",
+            f"{result.prefetch.elapsed_us / 1e6:.2f}s",
+            f"{result.speedup:.2f}x",
+            f"{100 * result.prefetch.stats.memory.avg_free_fraction(result.prefetch.elapsed_us):.0f}%",
+        ])
+        labels += [f"{multiple:.2f}x O", f"{multiple:.2f}x P"]
+        values += [result.original.elapsed_us / 1e6,
+                   result.prefetch.elapsed_us / 1e6]
+
+    print(render_table(
+        ["problem size", "keys+ranks", "paged VM", "prefetching",
+         "speedup", "memory kept free"],
+        rows,
+        title="BUK across problem sizes (the Figure 8 story)",
+    ))
+    print()
+    print(ascii_bars(labels, values, unit="s"))
+    print()
+    print("Note the paged-VM discontinuity at 1.0x memory -- and that the")
+    print("prefetching version also wins in-core, by hiding cold faults.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Out-of-core 3-D stencil relaxation (the MGRID workload).
+
+Shows what the compiler does with a 7-point stencil whose grid is twice
+the size of memory: group locality merges the neighbours that share pages,
+the plane-apart neighbours become three parallel prefetch streams, and the
+run-time layer silently filters the duplicate prefetches those streams
+generate.
+
+Run:  python examples/stencil_solver.py
+"""
+
+from __future__ import annotations
+
+from repro import CompilerOptions, PlatformConfig, insert_prefetches
+from repro.apps.registry import get_app
+from repro.core.analysis.planner import PlanKind
+from repro.core.ir.printer import format_program
+from repro.harness.experiment import compare_app, default_data_pages
+
+
+def main() -> None:
+    platform = PlatformConfig()
+    spec = get_app("MGRID")
+    pages = default_data_pages(platform)
+    program = spec.make(pages)
+
+    options = CompilerOptions.from_platform(platform)
+    compiled = insert_prefetches(program, options)
+
+    print("=== What the compiler found in the stencil ===")
+    for plan in compiled.plan.plans:
+        if plan.kind is PlanKind.COVERED:
+            print(f"  {plan.ref!r}: covered by its group leader (group locality)")
+        elif plan.kind is PlanKind.DENSE:
+            print(
+                f"  {plan.ref!r}: prefetch stream, pipelined across "
+                f"'{plan.pipeline_loop.var}', {plan.pages_per_hint} pages per "
+                f"hint, {plan.distance_strips} strips ahead"
+            )
+        elif plan.kind is PlanKind.NONE:
+            print(f"  {plan.ref!r}: not prefetched ({plan.reason})")
+    print()
+
+    print("=== First lines of the transformed relaxation sweep ===")
+    text = format_program(compiled.program, include_decls=False)
+    print("\n".join(text.splitlines()[:14]))
+    print("  ...")
+    print()
+
+    print("=== Out-of-core run (grid ~2x memory) ===")
+    result = compare_app(spec, platform)
+    o, p = result.original.stats, result.prefetch.stats
+    print(f"  paged VM:    {o.elapsed_us / 1e6:6.2f}s "
+          f"({100 * o.times.idle / o.elapsed_us:.0f}% I/O stall)")
+    print(f"  prefetching: {p.elapsed_us / 1e6:6.2f}s "
+          f"({100 * p.times.idle / p.elapsed_us:.0f}% I/O stall)")
+    print(f"  speedup:     {result.speedup:.2f}x, "
+          f"{100 * result.stall_eliminated:.0f}% of the stall eliminated")
+    print(f"  run-time layer filtered "
+          f"{100 * p.prefetch.unnecessary_fraction:.0f}% of the inserted "
+          f"prefetches (the overlapping plane streams)")
+
+
+if __name__ == "__main__":
+    main()

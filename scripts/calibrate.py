@@ -1,0 +1,57 @@
+"""Calibration driver: run every app O vs P and print the paper-shape
+metrics (speedup, stall elimination, coverage, unnecessary %, free memory,
+disk utilization).  Used during development to tune per-app costs; kept in
+the repo because it is the fastest way to eyeball all shapes at once.
+
+Usage: python scripts/calibrate.py [APP ...]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.config import PlatformConfig
+from repro.harness.experiment import compare_app
+from repro.harness.report import render_table
+
+
+def main(argv: list[str]) -> None:
+    platform = PlatformConfig()
+    specs = [get_app(a) for a in argv] if argv else list(ALL_APPS)
+    rows = []
+    for spec in specs:
+        t0 = time.time()
+        cmp_result = compare_app(spec, platform, include_nofilter=True)
+        wall = time.time() - t0
+        o, p = cmp_result.original.stats, cmp_result.prefetch.stats
+        nf = cmp_result.extras["P-nofilter"].stats
+        rows.append([
+            spec.name,
+            cmp_result.data_pages,
+            f"{o.elapsed_us/1e6:.2f}s",
+            f"{100*o.times.idle/o.elapsed_us:.0f}%",
+            f"{cmp_result.speedup:.2f}x",
+            f"{100*cmp_result.stall_eliminated:.0f}%",
+            f"{100*p.faults.coverage:.0f}%",
+            f"{100*p.prefetch.unnecessary_fraction:.0f}%",
+            f"{100*p.prefetch.issued_useful_fraction:.0f}%",
+            f"{(p.times.user/o.times.user - 1)*100:+.0f}%",
+            f"{o.elapsed_us/nf.elapsed_us:.2f}x",
+            f"{100*p.memory.avg_free_fraction(p.elapsed_us):.0f}%",
+            f"{100*o.disk.utilization(o.elapsed_us):.0f}/{100*p.disk.utilization(p.elapsed_us):.0f}%",
+            p.release.pages_released,
+            f"{wall:.1f}s",
+        ])
+    print(render_table(
+        ["app", "pages", "O time", "O idle", "speedup", "stall-elim",
+         "coverage", "unnec", "issued-useful", "user+", "nofilter-spdup",
+         "free-mem", "util O/P", "released", "wall"],
+        rows,
+        title="Calibration: paper shapes per application",
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

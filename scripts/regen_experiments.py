@@ -1,0 +1,90 @@
+"""Regenerate the full evaluation and collate it into RESULTS.md.
+
+Runs the entire benchmark suite (which writes each figure/table rendering
+to ``benchmarks/results/*.txt``) and stitches the renderings into a single
+``RESULTS.md`` in the paper's order, so the whole regenerated evaluation
+can be read top to bottom.
+
+Usage: python scripts/regen_experiments.py [--skip-benchmarks]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+
+#: The paper's presentation order (file stem, section heading).
+ORDER = [
+    ("fig1_binding", "Figure 1 — non-binding prefetch semantics"),
+    ("table1_platform", "Table 1 — platform characteristics"),
+    ("table2_apps", "Table 2 — applications"),
+    ("fig3a_overall", "Figure 3(a) — overall performance"),
+    ("fig3b_faults_stall", "Figure 3(b) — faults and stall time"),
+    ("fig4a_coverage", "Figure 4(a) — compiler coverage"),
+    ("fig4b_filtering", "Figure 4(b) — run-time filtering"),
+    ("fig4c_nofilter", "Figure 4(c) — removing the run-time layer"),
+    ("fig5_disk", "Figure 5 — disk requests and utilization"),
+    ("table3_memory", "Table 3 — memory activity and free memory"),
+    ("fig6_incore_35", "Figure 6 — in-core problem sizes (35%)"),
+    ("fig6_incore_15", "Figure 6 (extra) — tiny problem sizes (15%)"),
+    ("fig7_larger", "Figure 7 — larger out-of-core sizes"),
+    ("fig8_buk_sweep", "Figure 8 — BUK problem-size sweep"),
+    ("readahead_baseline", "Baseline — OS fault-history readahead"),
+    ("multiprog_coscheduled", "Extension — co-scheduled pairs"),
+    ("multiprogramming", "Extension — memory pressure"),
+    ("ablation_block_pages", "Ablation — block prefetch size"),
+    ("ablation_distance", "Ablation — prefetch distance"),
+    ("ablation_release_buk", "Ablation — release policy (BUK)"),
+    ("ablation_release_embar", "Ablation — release policy (EMBAR)"),
+    ("ablation_bitvector", "Ablation — bit-vector granularity"),
+    ("ablation_twoversion", "Ablation — two-version loops"),
+    ("ablation_adaptive", "Ablation — adaptive suppression"),
+    ("locality_curves", "Extension — locality curves"),
+]
+
+
+def main(argv: list[str]) -> int:
+    if "--skip-benchmarks" not in argv:
+        print("running the benchmark suite (a few minutes)...", flush=True)
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "benchmarks/",
+             "--benchmark-only", "-q"],
+            cwd=REPO,
+        )
+        if proc.returncode != 0:
+            print("benchmark suite failed", file=sys.stderr)
+            return proc.returncode
+
+    sections = [
+        "# RESULTS — regenerated evaluation",
+        "",
+        "Produced by `python scripts/regen_experiments.py`. Shapes are",
+        "compared against the paper in EXPERIMENTS.md.",
+        "",
+    ]
+    missing = []
+    for stem, heading in ORDER:
+        path = RESULTS / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        sections.append(f"## {heading}")
+        sections.append("")
+        sections.append("```")
+        sections.append(path.read_text().rstrip())
+        sections.append("```")
+        sections.append("")
+    out = REPO / "RESULTS.md"
+    out.write_text("\n".join(sections))
+    print(f"wrote {out} ({len(ORDER) - len(missing)} sections)")
+    if missing:
+        print("missing renderings:", ", ".join(missing))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,9 @@
+"""Compatibility shim for tooling that expects a ``setup.py``.
+
+All real metadata lives in ``pyproject.toml``; ``pip install -e .`` uses
+the PEP 660 path (build requirements: setuptools>=64 and wheel).
+"""
+
+from setuptools import setup
+
+setup()

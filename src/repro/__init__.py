@@ -1,0 +1,47 @@
+"""repro: Automatic Compiler-Inserted I/O Prefetching for Out-of-Core Applications.
+
+A full reproduction of Mowry, Demke & Krieger (OSDI '96): the prefetching
+compiler pass over a loop-nest IR, the paged-VM + run-time-layer + striped-
+disk-array substrate it runs on, models of the eight NAS Parallel
+Benchmarks, and the harness that regenerates every figure and table of the
+paper's evaluation.
+
+Quick tour::
+
+    from repro import (
+        CompilerOptions, Machine, PlatformConfig,
+        insert_prefetches, run_program,
+    )
+    from repro.core.ir.printer import format_program
+
+    program = ...                      # build a loop nest (see examples/)
+    result = insert_prefetches(program, CompilerOptions.from_platform(cfg))
+    print(format_program(result.program))   # the Figure 2(b) analog
+
+    stats_o = run_program(program, Machine(cfg, prefetching=False))
+    stats_p = run_program(result.program, Machine(cfg, prefetching=True))
+    print(stats_o.elapsed_us / stats_p.elapsed_us)  # the speedup
+"""
+
+from repro.config import CostModel, DiskParameters, PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import PassResult, insert_prefetches
+from repro.interp.executor import Executor, run_program
+from repro.machine.machine import Machine
+from repro.sim.stats import RunStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PlatformConfig",
+    "DiskParameters",
+    "CostModel",
+    "CompilerOptions",
+    "insert_prefetches",
+    "PassResult",
+    "Machine",
+    "Executor",
+    "run_program",
+    "RunStats",
+    "__version__",
+]

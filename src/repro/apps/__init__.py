@@ -1,0 +1,20 @@
+"""Models of the NAS Parallel Benchmarks (paper Section 3.2, Table 2).
+
+Each module builds a loop-nest IR program reproducing the *memory
+behaviour* of one benchmark: the loop structure, the reference patterns
+(sequential streams, strided sweeps, stencils, indirect references), the
+sweep counts, and the compute density.  Index arrays whose values feed
+addresses (BUK's keys, CGM's sparsity structure) are materialized with
+real data; numeric arrays never are -- the experiments measure paging, and
+paging depends only on the address stream.
+
+Problem sizes scale with ``data_pages`` (the major data footprint), so the
+same model serves the out-of-core base case (~2x memory, Figure 3), the
+in-core cases (Figure 6), the large cases (Figure 7), and BUK's size sweep
+(Figure 8).
+"""
+
+from repro.apps.base import SIZE_CLASSES, AppSpec, doubles_for_pages
+from repro.apps.registry import ALL_APPS, get_app
+
+__all__ = ["AppSpec", "SIZE_CLASSES", "doubles_for_pages", "ALL_APPS", "get_app"]

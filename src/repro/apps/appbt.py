@@ -1,0 +1,91 @@
+"""APPBT (NAS BT): block tridiagonal ADI solver.
+
+BT is structurally like SP but each grid point carries a 5-component
+block, and the 5x5 block solves appear as small inner loops.  Crucially,
+the block size reaches the solver as a runtime argument, so *the compiler
+cannot see that the inner loop bound is tiny* -- exactly the situation the
+paper blames for APPBT's lost coverage: "our compiler can make the mistake
+of software pipelining references across the j loop rather than the i
+loop ... the software pipeline never gets started" (Section 4.1.1).
+
+The model gives the main grid ``u`` a symbolic component dimension (the
+compiler plans it assuming the bound is large and pipelines across the
+tiny component loop), while the right-hand side ``rhs`` uses unrolled
+constant component references (planned correctly).  The result is the
+paper's APPBT signature: coverage well below the rest of the suite and
+the smallest speedup of the eight applications.  The two-version-loop
+extension (``CompilerOptions.two_version_loops``) repairs it -- benched as
+an ablation.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, pencil_dims_for_pages
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Var
+from repro.core.ir.nodes import Program
+
+#: Components per grid point (runtime parameter, unknown at compile time).
+BLOCK = 5
+#: Cost of one block-solve step per component.
+COMPONENT_COST_US = 18.0
+#: Cost of the per-point right-hand-side update.
+RHS_COST_US = 34.0
+#: ADI iterations.
+ITERATIONS = 1
+
+
+def build(data_pages: int, seed: int = 1) -> Program:
+    d, g, _ = pencil_dims_for_pages(data_pages, arrays=2, components=BLOCK, side=64)
+    b = ProgramBuilder(
+        "APPBT",
+        params={"B": BLOCK},
+        # The block size is a runtime argument: the compiler plans without it.
+        compile_time_params={},
+    )
+    i, j, k, m = Var("i"), Var("j"), Var("k"), Var("m")
+    u = b.array("u", (d, g, g, "B"), elem_size=8)
+    rhs = b.array("rhs", (d, g, g, BLOCK), elem_size=8)
+
+    def sweep():
+        return loop("i", 1, d - 1, [
+            loop("j", 1, g - 1, [
+                loop("k", 1, g - 1, [
+                    # The 5x5 block solve: a tiny inner loop whose bound
+                    # the compiler cannot resolve.  It pipelines across m.
+                    loop("m", 0, Var("B"), [
+                        work(
+                            [read(u, i, j, k, m), write(u, i, j, k, m)],
+                            COMPONENT_COST_US,
+                            text="u[i][j][k][m] = binvrhs(lhs, u, m);",
+                        ),
+                    ]),
+                    # RHS update with unrolled constant components:
+                    # analyzable, prefetched correctly.
+                    work(
+                        [read(rhs, i, j, k, 0), read(rhs, i, j, k, 4),
+                         write(rhs, i, j, k, 2)],
+                        RHS_COST_US,
+                        text="rhs[i][j][k][*] = compute_rhs(...);",
+                    ),
+                ]),
+            ]),
+        ])
+
+    for _ in range(ITERATIONS):
+        b.append(sweep())
+    return b.build()
+
+
+SPEC = AppSpec(
+    name="APPBT",
+    nas_name="BT",
+    full_name="Block Tridiagonal Simulated CFD Application",
+    description=(
+        "ADI factorization with 5x5 block tridiagonal solves; the block "
+        "dimension is a runtime argument, hiding the tiny inner-loop "
+        "bound from the compiler"
+    ),
+    build=build,
+    pattern="3-D sweeps with tiny symbolic-bound inner block loops",
+)

@@ -1,0 +1,95 @@
+"""APPLU (NAS LU): SSOR solver for the Navier-Stokes equations.
+
+LU performs symmetric successive over-relaxation: a *forward* wavefront
+sweep (each point depends on its lower neighbours) followed by a
+*backward* sweep.  The backward sweep is modeled as a forward loop with
+reversed index expressions (``G-2-i``), giving genuinely negative strides
+-- the group-locality leader election must pick the other end of the
+stencil there.
+
+Memory behaviour: like MGRID, plane-apart stencil streams over two big
+grids; the backward sweep re-traverses data in the opposite order, which
+is maximally hostile to LRU (the pages it wants were evicted in exactly
+the order it needs them back).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, pencil_dims_for_pages
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Var
+from repro.core.ir.nodes import Program
+
+#: Cost of one lower/upper triangular update per grid point.
+SWEEP_COST_US = 20.0
+#: SSOR iterations (forward + backward per iteration).
+ITERATIONS = 1
+
+
+def build(data_pages: int, seed: int = 1) -> Program:
+    d, g, _ = pencil_dims_for_pages(data_pages, arrays=2)
+    b = ProgramBuilder("APPLU")
+    i, j, k = Var("i"), Var("j"), Var("k")
+    u = b.array("u", (d, g, g), elem_size=8)
+    rsd = b.array("rsd", (d, g, g), elem_size=8)
+
+    def forward():
+        return loop("i", 1, d - 1, [
+            loop("j", 1, g - 1, [
+                loop("k", 1, g - 1, [
+                    work(
+                        [
+                            read(rsd, i, j, k),
+                            read(u, i - 1, j, k),
+                            read(u, i, j - 1, k),
+                            read(u, i, j, k - 1),
+                            write(u, i, j, k),
+                        ],
+                        SWEEP_COST_US,
+                        text="u[i][j][k] = blts(u, rsd, i, j, k);",
+                    ),
+                ]),
+            ]),
+        ])
+
+    def backward():
+        # Reversed traversal: index expressions count down from G-2.
+        ri = (d - 2) - i
+        rj = (g - 2) - j
+        rk = (g - 2) - k
+        return loop("i", 0, d - 2, [
+            loop("j", 0, g - 2, [
+                loop("k", 0, g - 2, [
+                    work(
+                        [
+                            read(rsd, ri, rj, rk),
+                            read(u, ri + 1, rj, rk),
+                            read(u, ri, rj + 1, rk),
+                            read(u, ri, rj, rk + 1),
+                            write(u, ri, rj, rk),
+                        ],
+                        SWEEP_COST_US,
+                        text="u[i][j][k] = buts(u, rsd, i, j, k);",
+                    ),
+                ]),
+            ]),
+        ])
+
+    for _ in range(ITERATIONS):
+        b.append(forward())
+        b.append(backward())
+    return b.build()
+
+
+SPEC = AppSpec(
+    name="APPLU",
+    nas_name="LU",
+    full_name="LU Simulated CFD Application (SSOR)",
+    description=(
+        "Symmetric successive over-relaxation for a block-sparse system: "
+        "forward and backward wavefront sweeps over two large cubic "
+        "grids, the backward sweep traversing memory in reverse"
+    ),
+    build=build,
+    pattern="forward + reverse 3-D wavefront sweeps",
+)

@@ -1,0 +1,89 @@
+"""APPSP (NAS SP): scalar pentadiagonal ADI solver.
+
+SP solves three sets of scalar pentadiagonal systems per iteration, one
+along each grid dimension (the ADI x-, y-, and z-sweeps).  Each line solve
+is a forward-elimination pass followed by a back-substitution pass, so
+every direction traverses the whole cube twice.  The traversal itself
+stays plane-ordered (the real code keeps the contiguous dimension
+innermost), but the z-direction's recurrence couples adjacent *planes*,
+so its two passes walk the cube in opposite plane orders -- the
+back-substitution revisits planes in exactly the order LRU evicted them.
+
+Memory behaviour: six full-cube passes per iteration over two big grids;
+heavy capacity faulting in the original version, near-complete coverage
+with prefetching, with the reverse passes keeping the prefetch streams
+from ever being page-resident leftovers.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, pencil_dims_for_pages
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Var
+from repro.core.ir.nodes import Program
+
+#: Cost of one line-solve step per grid point.
+SWEEP_COST_US = 18.0
+#: ADI iterations (x + y + z direction per iteration, 2 passes each).
+ITERATIONS = 1
+#: Directions modeled per iteration (x, y, z).
+DIRECTIONS = 3
+
+
+def build(data_pages: int, seed: int = 1) -> Program:
+    d, g, _ = pencil_dims_for_pages(data_pages, arrays=2)
+    b = ProgramBuilder("APPSP")
+    i, j, k = Var("i"), Var("j"), Var("k")
+    u = b.array("u", (d, g, g), elem_size=8)
+    rhs = b.array("rhs", (d, g, g), elem_size=8)
+
+    def forward(text):
+        """Forward elimination: ascending plane order."""
+        return loop("i", 1, d - 1, [
+            loop("j", 1, g - 1, [
+                loop("k", 1, g - 1, [
+                    work(
+                        [read(rhs, i, j, k), read(u, i, j, k),
+                         write(u, i, j, k)],
+                        SWEEP_COST_US,
+                        text=text,
+                    ),
+                ]),
+            ]),
+        ])
+
+    def backward(text):
+        """Back substitution: descending plane order (reversed indices)."""
+        ri, rj, rk = (d - 2) - i, (g - 2) - j, (g - 2) - k
+        return loop("i", 0, d - 2, [
+            loop("j", 0, g - 2, [
+                loop("k", 0, g - 2, [
+                    work(
+                        [read(rhs, ri, rj, rk), read(u, ri, rj, rk),
+                         write(u, ri, rj, rk)],
+                        SWEEP_COST_US,
+                        text=text,
+                    ),
+                ]),
+            ]),
+        ])
+
+    for _ in range(ITERATIONS):
+        for axis in ("x", "y", "z")[:DIRECTIONS]:
+            b.append(forward(f"u = {axis}solve_forward(u, rhs);"))
+            b.append(backward(f"u = {axis}solve_backsub(u, rhs);"))
+    return b.build()
+
+
+SPEC = AppSpec(
+    name="APPSP",
+    nas_name="SP",
+    full_name="Scalar Pentadiagonal Simulated CFD Application",
+    description=(
+        "ADI factorization with scalar pentadiagonal line solves along "
+        "each of the three grid dimensions; the z-direction solves stride "
+        "a full plane per step"
+    ),
+    build=build,
+    pattern="x/y/z line sweeps; z-sweep plane-strided (no locality)",
+)

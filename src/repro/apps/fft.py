@@ -1,0 +1,67 @@
+"""FFT (NAS FT): out-of-core fast Fourier transform passes.
+
+The FT benchmark solves a PDE with forward and inverse 3-D FFTs.  The
+out-of-core structure that matters for paging is the sequence of butterfly
+passes over one large array, each combining elements at a pass-dependent
+stride: early passes pair elements half the array apart (two widely
+separated sequential streams), late passes work within small blocks
+(single sequential stream at page granularity).
+
+Memory behaviour: every pass reads and writes the whole array; all
+references are affine, so the compiler pipelines block prefetches for each
+stream and coverage is near-perfect.  Successive passes re-traverse data
+that LRU evicted, so out-of-core sizes fault heavily in the original
+version -- prime territory for prefetching.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppSpec, doubles_for_pages
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Var
+from repro.core.ir.nodes import Program
+
+#: Cost of one butterfly (complex multiply-add) per element pair.
+BUTTERFLY_COST_US = 22.0
+#: Number of modeled butterfly passes (one per block size below).
+#: Real FFTs run log2(N) passes; three passes capture the three distinct
+#: paging regimes (far stride, page-scale stride, within-page).
+BLOCK_FRACTIONS = (2, 16, 256)
+
+
+def build(data_pages: int, seed: int = 1) -> Program:
+    n = doubles_for_pages(data_pages)
+    b = ProgramBuilder("FFT")
+    x = b.array("x", (n,), elem_size=8)
+    for frac in BLOCK_FRACTIONS:
+        half = max(1, n // frac // 2)
+        nblocks = n // (2 * half)
+        b.append(loop(f"blk_{frac}", 0, nblocks, [
+            loop(f"t_{frac}", 0, half, [
+                work(
+                    [
+                        read(x, Var(f"blk_{frac}") * (2 * half) + Var(f"t_{frac}")),
+                        read(x, Var(f"blk_{frac}") * (2 * half) + Var(f"t_{frac}") + half),
+                        write(x, Var(f"blk_{frac}") * (2 * half) + Var(f"t_{frac}")),
+                        write(x, Var(f"blk_{frac}") * (2 * half) + Var(f"t_{frac}") + half),
+                    ],
+                    BUTTERFLY_COST_US,
+                    text="(x[j], x[j+h]) = butterfly(x[j], x[j+h], w);",
+                ),
+            ]),
+        ]))
+    return b.build()
+
+
+SPEC = AppSpec(
+    name="FFT",
+    nas_name="FT",
+    full_name="3-D Fast Fourier Transform PDE",
+    description=(
+        "Spectral PDE solver built on FFTs; modeled as butterfly passes "
+        "over one large array, each pass combining two sequential streams "
+        "separated by the pass stride"
+    ),
+    build=build,
+    pattern="paired sequential streams at pass-dependent strides",
+)

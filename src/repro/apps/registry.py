@@ -1,0 +1,49 @@
+"""Registry of the eight NAS Parallel Benchmark models (Table 2)."""
+
+from __future__ import annotations
+
+from repro.apps import appbt, applu, appsp, buk, cgm, embar, fft, mgrid
+from repro.apps.base import AppSpec
+from repro.errors import ReproError
+
+#: All eight applications, in the paper's customary order.
+ALL_APPS: tuple[AppSpec, ...] = (
+    buk.SPEC,
+    cgm.SPEC,
+    embar.SPEC,
+    fft.SPEC,
+    mgrid.SPEC,
+    applu.SPEC,
+    appsp.SPEC,
+    appbt.SPEC,
+)
+
+_BY_NAME = {spec.name: spec for spec in ALL_APPS}
+_BY_NAS = {spec.nas_name: spec for spec in ALL_APPS}
+
+
+def get_app(name: str) -> AppSpec:
+    """Look up an application by paper name (BUK) or NAS name (IS)."""
+    key = name.upper()
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    if key in _BY_NAS:
+        return _BY_NAS[key]
+    raise ReproError(
+        f"unknown application {name!r}; known: "
+        + ", ".join(sorted(_BY_NAME))
+    )
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """Rows of the Table 2 analog (application descriptions)."""
+    return [
+        {
+            "name": spec.name,
+            "nas": spec.nas_name,
+            "full_name": spec.full_name,
+            "description": spec.description,
+            "pattern": spec.pattern,
+        }
+        for spec in ALL_APPS
+    ]

@@ -1,0 +1,169 @@
+"""Synthetic workload builders.
+
+Generic access-pattern generators, each returning a ready-to-compile
+:class:`~repro.core.ir.nodes.Program`.  They are the controlled inputs for
+unit tests, microbenchmarks, and exploration -- the NAS models in the
+sibling modules are compositions of exactly these patterns:
+
+* :func:`stream` -- one sequential read(/write) pass (EMBAR's halves);
+* :func:`repeated_sweep` -- an iterated sweep (the LRU-hostile core of
+  the solvers);
+* :func:`strided` -- fixed-stride accesses (FFT passes, ADI line solves);
+* :func:`stencil1d` -- neighbour references with group locality;
+* :func:`gather` -- ``a[b[i]]`` indirect reads (CGM's gather);
+* :func:`scatter` -- ``a[b[i]] = ...`` indirect writes (histogramming);
+* :func:`random_walk` -- a pointerish chase with a controllable working
+  set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import ElemOf, Var
+from repro.core.ir.nodes import Program
+from repro.errors import IRError
+
+
+def stream(
+    nelems: int,
+    cost_us: float = 10.0,
+    writes: bool = False,
+    name: str = "stream",
+) -> Program:
+    """One sequential pass over ``nelems`` doubles."""
+    b = ProgramBuilder(name)
+    x = b.array("x", (nelems,), elem_size=8)
+    i = Var("i")
+    refs = [read(x, i)] + ([write(x, i)] if writes else [])
+    b.append(loop("i", 0, nelems, [work(refs, cost_us)]))
+    return b.build()
+
+
+def repeated_sweep(
+    nelems: int,
+    sweeps: int,
+    cost_us: float = 10.0,
+    writes: bool = True,
+    name: str = "sweep",
+) -> Program:
+    """``sweeps`` sequential passes over the same array."""
+    if sweeps <= 0:
+        raise IRError(f"need at least one sweep, got {sweeps}")
+    b = ProgramBuilder(name)
+    x = b.array("x", (nelems,), elem_size=8)
+    i, s = Var("i"), Var("s")
+    refs = [read(x, i)] + ([write(x, i)] if writes else [])
+    b.append(loop("s", 0, sweeps, [
+        loop("i", 0, nelems, [work(refs, cost_us)]),
+    ]))
+    return b.build()
+
+
+def strided(
+    nelems: int,
+    stride: int,
+    cost_us: float = 10.0,
+    name: str = "strided",
+) -> Program:
+    """Visit every ``stride``-th element (then the next offset, etc.).
+
+    Equivalent to a blocked transpose / ADI line traversal: the address
+    stream jumps by ``stride`` elements per iteration.
+    """
+    if stride <= 0 or stride >= nelems:
+        raise IRError(f"stride must be in (0, nelems), got {stride}")
+    lanes = nelems // stride
+    b = ProgramBuilder(name)
+    x = b.array("x", (nelems,), elem_size=8)
+    off, i = Var("off"), Var("i")
+    b.append(loop("off", 0, stride, [
+        loop("i", 0, lanes, [
+            work([read(x, i * stride + off)], cost_us),
+        ]),
+    ]))
+    return b.build()
+
+
+def stencil1d(
+    nelems: int,
+    radius: int = 1,
+    cost_us: float = 10.0,
+    name: str = "stencil",
+) -> Program:
+    """``y[i] = f(x[i-r..i+r])``: group locality across the window."""
+    if radius <= 0:
+        raise IRError(f"radius must be positive, got {radius}")
+    b = ProgramBuilder(name)
+    x = b.array("x", (nelems,), elem_size=8)
+    y = b.array("y", (nelems,), elem_size=8)
+    i = Var("i")
+    refs = [read(x, i + d) for d in range(-radius, radius + 1)]
+    refs.append(write(y, i))
+    b.append(loop("i", radius, nelems - radius, [work(refs, cost_us)]))
+    return b.build()
+
+
+def gather(
+    nelems: int,
+    table_elems: int,
+    cost_us: float = 10.0,
+    seed: int = 1,
+    name: str = "gather",
+) -> Program:
+    """``sum += table[index[i]]``: sequential index stream, random reads."""
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder(name)
+    index = b.array("index", (nelems,), elem_size=8,
+                    data=rng.integers(0, table_elems, size=nelems))
+    table = b.array("table", (table_elems,), elem_size=8)
+    i = Var("i")
+    b.append(loop("i", 0, nelems, [
+        work([read(index, i), read(table, ElemOf(index, i))], cost_us),
+    ]))
+    return b.build()
+
+
+def scatter(
+    nelems: int,
+    table_elems: int,
+    cost_us: float = 10.0,
+    seed: int = 1,
+    name: str = "scatter",
+) -> Program:
+    """``table[index[i]] += v``: sequential index stream, random writes."""
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder(name)
+    index = b.array("index", (nelems,), elem_size=8,
+                    data=rng.integers(0, table_elems, size=nelems))
+    table = b.array("table", (table_elems,), elem_size=8)
+    i = Var("i")
+    b.append(loop("i", 0, nelems, [
+        work([read(index, i), write(table, ElemOf(index, i))], cost_us),
+    ]))
+    return b.build()
+
+
+def random_walk(
+    steps: int,
+    footprint_elems: int,
+    cost_us: float = 10.0,
+    seed: int = 1,
+    name: str = "walk",
+) -> Program:
+    """A precomputed random walk over ``footprint_elems`` (pointer chase).
+
+    The walk is materialized as an index array, so the *simulated* access
+    stream is a genuine dependent chain while staying replayable.
+    """
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder(name)
+    path = b.array("path", (steps,), elem_size=8,
+                   data=rng.integers(0, footprint_elems, size=steps))
+    heap = b.array("heap", (footprint_elems,), elem_size=8)
+    i = Var("i")
+    b.append(loop("i", 0, steps, [
+        work([read(path, i), read(heap, ElemOf(path, i))], cost_us),
+    ]))
+    return b.build()

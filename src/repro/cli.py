@@ -1,0 +1,324 @@
+"""Command-line interface.
+
+::
+
+    python -m repro apps                      # list the benchmarks
+    python -m repro platform                  # show the simulated machine
+    python -m repro compile BUK --print-code  # run the pass, show Fig-2 output
+    python -m repro run MGRID --variant p     # execute one variant
+    python -m repro compare FFT --nofilter    # O vs P (vs P-nofilter)
+    python -m repro sweep BUK --multiples 0.5,1,2,3   # Figure-8 style
+    python -m repro multiprog EMBAR,MGRID     # co-schedule two applications
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apps.registry import ALL_APPS, get_app, table2_rows
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.harness.experiment import compare_app, default_data_pages, run_variant
+from repro.harness.report import render_table
+from repro.sim.stats import RunStats
+
+
+def _platform_from_args(args: argparse.Namespace) -> PlatformConfig:
+    overrides = {}
+    if args.memory_pages:
+        overrides["memory_pages"] = args.memory_pages
+    if args.disks:
+        overrides["num_disks"] = args.disks
+    return PlatformConfig(**overrides) if overrides else PlatformConfig()
+
+
+def _data_pages(args: argparse.Namespace, platform: PlatformConfig) -> int:
+    if args.pages:
+        return args.pages
+    size_class = getattr(args, "size_class", None)
+    if size_class:
+        from repro.apps.base import SIZE_CLASSES
+
+        multiple = SIZE_CLASSES[size_class.upper()]
+        return max(8, int(platform.available_frames * multiple))
+    return default_data_pages(platform)
+
+
+def _print_stats(stats: RunStats) -> None:
+    t = stats.times
+    rows = [
+        ["elapsed", f"{stats.elapsed_us / 1e6:.3f} s"],
+        ["user compute", f"{t.user_compute / 1e6:.3f} s"],
+        ["user overhead", f"{t.user_overhead / 1e6:.3f} s"],
+        ["system (faults)", f"{t.sys_fault / 1e6:.3f} s"],
+        ["system (prefetch)", f"{t.sys_prefetch / 1e6:.3f} s"],
+        ["system (release)", f"{t.sys_release / 1e6:.3f} s"],
+        ["I/O stall", f"{t.idle / 1e6:.3f} s"],
+        ["page faults", stats.faults.actual_faults],
+        ["prefetched hits", stats.faults.prefetched_hit],
+        ["coverage", f"{100 * stats.faults.coverage:.1f} %"],
+        ["prefetches inserted", stats.prefetch.compiler_inserted],
+        ["filtered at user level", stats.prefetch.filtered],
+        ["issued to OS (pages)", stats.prefetch.issued_pages],
+        ["pages released", stats.release.pages_released],
+        ["disk requests", stats.disk.total_requests],
+        ["avg disk utilization",
+         f"{100 * stats.disk.utilization(stats.elapsed_us):.1f} %"],
+        ["avg free memory",
+         f"{100 * stats.memory.avg_free_fraction(stats.elapsed_us):.1f} %"],
+    ]
+    print(render_table(["metric", "value"], rows))
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    rows = [
+        [r["name"], r["nas"], r["full_name"], r["pattern"]]
+        for r in table2_rows()
+    ]
+    print(render_table(["app", "NAS", "full name", "access pattern"], rows,
+                       title="NAS Parallel Benchmark models"))
+    return 0
+
+
+def cmd_platform(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    disk = platform.disk
+    rows = [
+        ["memory", f"{platform.memory_bytes // 1024} KB ({platform.memory_pages} pages)"],
+        ["available to app", f"{platform.available_bytes // 1024} KB"],
+        ["page size", f"{platform.page_size} B"],
+        ["disks", platform.num_disks],
+        ["random access", f"{disk.random_service_us(1) / 1000:.1f} ms"],
+        ["sequential page", f"{disk.sequential_service_us(1) / 1000:.1f} ms"],
+        ["fault latency (end to end)",
+         f"{platform.average_fault_latency_us() / 1000:.1f} ms"],
+        ["block prefetch", f"{platform.prefetch_block_pages} pages"],
+    ]
+    print(render_table(["characteristic", "value"], rows,
+                       title="Simulated platform"))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    spec = get_app(args.app)
+    program = spec.make(_data_pages(args, platform), seed=args.seed)
+    options = CompilerOptions.from_platform(
+        platform, two_version_loops=args.two_version
+    )
+    result = insert_prefetches(program, options)
+    print(result.report())
+    if args.print_code:
+        from repro.core.ir.printer import format_program
+
+        print()
+        print(format_program(result.program))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    spec = get_app(args.app)
+    pages = _data_pages(args, platform)
+    program = spec.make(pages, seed=args.seed)
+    variant = args.variant.lower()
+    if variant == "o":
+        stats = run_variant(program, platform, prefetching=False, warm=args.warm)
+    else:
+        options = CompilerOptions.from_platform(platform)
+        compiled = insert_prefetches(program, options)
+        stats = run_variant(
+            compiled.program,
+            platform,
+            prefetching=True,
+            runtime_filter=variant != "nofilter",
+            warm=args.warm,
+            adaptive=variant == "adaptive",
+        )
+    print(f"{spec.name} [{variant.upper()}] at {pages} data pages "
+          f"({'warm' if args.warm else 'cold'} start)")
+    _print_stats(stats)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    spec = get_app(args.app)
+    pages = args.pages or (
+        _data_pages(args, platform) if getattr(args, "size_class", None) else None
+    )
+    result = compare_app(
+        spec,
+        platform,
+        data_pages=pages,
+        seed=args.seed,
+        warm=args.warm,
+        include_nofilter=args.nofilter,
+        include_adaptive=args.adaptive,
+    )
+    rows = []
+    variants = [result.original, result.prefetch] + list(result.extras.values())
+    for run in variants:
+        s = run.stats
+        rows.append([
+            run.variant,
+            f"{s.elapsed_us / 1e6:.3f} s",
+            f"{100 * s.times.idle / s.elapsed_us:.0f} %",
+            f"{result.original.elapsed_us / s.elapsed_us:.2f}x",
+            f"{100 * s.faults.coverage:.0f} %",
+        ])
+    print(render_table(
+        ["variant", "elapsed", "idle", "speedup vs O", "coverage"],
+        rows,
+        title=f"{spec.name} at {result.data_pages} data pages",
+    ))
+    return 0
+
+
+def cmd_multiprog(args: argparse.Namespace) -> int:
+    from repro.core.prefetch_pass import insert_prefetches
+    from repro.multiprog import CoScheduler
+
+    platform = _platform_from_args(args)
+    names = [n.strip() for n in args.apps.split(",") if n.strip()]
+    if not names:
+        print("no applications given", file=sys.stderr)
+        return 2
+    rows = []
+    for prefetching in (False, True):
+        sched = CoScheduler(platform, quantum_us=args.quantum)
+        for k, app_name in enumerate(names):
+            spec = get_app(app_name)
+            pages = args.pages or default_data_pages(platform)
+            program = spec.make(pages, seed=k + 1)
+            if prefetching:
+                options = CompilerOptions.from_platform(platform)
+                program = insert_prefetches(program, options).program
+            sched.add_process(program, name=f"{spec.name}#{k}",
+                              prefetching=prefetching)
+        result = sched.run()
+        label = "P" if prefetching else "O"
+        for proc in result.processes:
+            rows.append([
+                label,
+                proc.name,
+                f"{proc.finish_us / 1e6:.3f} s",
+                f"{proc.cpu_us / 1e6:.3f} s",
+                f"{proc.blocked_us / 1e6:.3f} s",
+                f"{proc.queued_us / 1e6:.3f} s",
+            ])
+        rows.append([
+            label, "(machine)", f"{result.elapsed_us / 1e6:.3f} s",
+            f"idle {100 * result.times.idle / result.elapsed_us:.0f} %",
+            "", "",
+        ])
+    print(render_table(
+        ["variant", "process", "finish", "cpu", "blocked", "queued"],
+        rows,
+        title="Co-scheduled run (O = paged VM, P = prefetching)",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    spec = get_app(args.app)
+    multiples = [float(m) for m in args.multiples.split(",")]
+    rows = []
+    for multiple in multiples:
+        pages = max(8, int(platform.available_frames * multiple))
+        result = compare_app(spec, platform, data_pages=pages, seed=args.seed)
+        rows.append([
+            f"{multiple:g}x",
+            pages,
+            f"{result.original.elapsed_us / 1e6:.3f} s",
+            f"{result.prefetch.elapsed_us / 1e6:.3f} s",
+            f"{result.speedup:.2f}x",
+        ])
+    print(render_table(
+        ["size vs memory", "pages", "original", "prefetching", "speedup"],
+        rows,
+        title=f"{spec.name} problem-size sweep",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-inserted I/O prefetching reproduction (OSDI '96)",
+    )
+    parser.add_argument("--memory-pages", type=int, default=0,
+                        help="override physical memory size (pages)")
+    parser.add_argument("--disks", type=int, default=0,
+                        help="override the number of disks")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list the benchmark applications")
+    sub.add_parser("platform", help="show the simulated machine")
+
+    def add_app_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("app", help="application name (BUK, CGM, ..., or NAS name)")
+        p.add_argument("--pages", type=int, default=0,
+                       help="major data footprint in pages (default ~2x memory)")
+        p.add_argument("--size-class", choices=["S", "W", "A", "B"],
+                       help="NAS-style problem class instead of --pages")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("compile", help="run the prefetching pass")
+    add_app_args(p)
+    p.add_argument("--print-code", action="store_true",
+                   help="print the transformed program")
+    p.add_argument("--two-version", action="store_true",
+                   help="enable the two-version-loop extension")
+
+    p = sub.add_parser("run", help="execute one variant")
+    add_app_args(p)
+    p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
+                   default="p")
+    p.add_argument("--warm", action="store_true", help="preload the data set")
+
+    p = sub.add_parser("compare", help="run original vs prefetching")
+    add_app_args(p)
+    p.add_argument("--warm", action="store_true")
+    p.add_argument("--nofilter", action="store_true",
+                   help="also run without the run-time layer")
+    p.add_argument("--adaptive", action="store_true",
+                   help="also run with adaptive suppression")
+
+    p = sub.add_parser("sweep", help="problem-size sweep (Figure 8 style)")
+    add_app_args(p)
+    p.add_argument("--multiples", default="0.5,1,1.5,2,3",
+                   help="comma-separated sizes as multiples of memory")
+
+    p = sub.add_parser("multiprog",
+                       help="co-schedule several applications on one machine")
+    p.add_argument("apps", help="comma-separated application names")
+    p.add_argument("--pages", type=int, default=0,
+                   help="per-process data pages (default ~2x memory)")
+    p.add_argument("--quantum", type=float, default=20_000.0,
+                   help="scheduler quantum in microseconds")
+    return parser
+
+
+COMMANDS = {
+    "apps": cmd_apps,
+    "platform": cmd_platform,
+    "compile": cmd_compile,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "sweep": cmd_sweep,
+    "multiprog": cmd_multiprog,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The paper's primary contribution: the I/O-prefetching compiler pass.
+
+``repro.core`` contains a loop-nest intermediate representation (the same
+abstraction the paper's SUIF pass operates on), the locality/reuse analysis
+re-parameterized from caches to paged memory (Section 2.3), and the
+transformations -- strip mining, software pipelining of prefetches, release
+insertion -- that turn an ordinary in-core loop nest into one annotated
+with non-binding ``prefetch``/``release`` hints.
+
+Public entry point: :func:`repro.core.prefetch_pass.insert_prefetches`.
+"""
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Const, Var
+from repro.core.ir.nodes import Hint, HintKind, If, Loop, Program, Work
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import PassResult, insert_prefetches
+
+__all__ = [
+    "ArrayDecl",
+    "Const",
+    "Var",
+    "Loop",
+    "Work",
+    "Hint",
+    "HintKind",
+    "If",
+    "Program",
+    "ProgramBuilder",
+    "loop",
+    "work",
+    "read",
+    "write",
+    "CompilerOptions",
+    "insert_prefetches",
+    "PassResult",
+]

@@ -1,0 +1,22 @@
+"""Compiler analyses: bounds/cost estimation, locality, prefetch planning."""
+
+from repro.core.analysis.bounds import iteration_cost_us, trip_count
+from repro.core.analysis.locality import (
+    footprint_bytes,
+    group_references,
+    is_indirect_in,
+    ref_stride_bytes,
+)
+from repro.core.analysis.planner import PlanKind, RefPlan, plan_program
+
+__all__ = [
+    "trip_count",
+    "iteration_cost_us",
+    "ref_stride_bytes",
+    "is_indirect_in",
+    "footprint_bytes",
+    "group_references",
+    "RefPlan",
+    "PlanKind",
+    "plan_program",
+]

@@ -1,0 +1,66 @@
+"""Trip-count and iteration-cost estimation under compile-time knowledge.
+
+Everything here sees only the program's *compile-time* parameter bindings.
+Trip counts that depend on runtime-only values come back inexact, filled
+with the :attr:`CompilerOptions.assumed_symbolic_trip` guess -- the paper's
+compiler makes exactly this kind of guess, and Section 4.1.1 attributes
+APPBT's lost coverage to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.ir.expr import affine_sum
+from repro.core.ir.nodes import Hint, If, Loop, Stmt, Work
+from repro.core.options import CompilerOptions
+
+
+@dataclass(frozen=True)
+class TripEstimate:
+    """A loop trip count as the compiler sees it."""
+
+    count: int
+    exact: bool
+
+
+def trip_count(
+    loop: Loop, known: Mapping[str, int], options: CompilerOptions
+) -> TripEstimate:
+    """Estimated iterations of ``loop`` under compile-time knowledge."""
+    try:
+        span = affine_sum(loop.upper, loop.lower, -1).try_const(known)
+    except Exception:
+        span = None
+    if span is None:
+        return TripEstimate(options.assumed_symbolic_trip, exact=False)
+    if span <= 0:
+        return TripEstimate(0, exact=True)
+    return TripEstimate(-(-span // loop.step), exact=True)
+
+
+def iteration_cost_us(
+    body: Sequence[Stmt], known: Mapping[str, int], options: CompilerOptions
+) -> float:
+    """Estimated CPU cost of executing ``body`` once.
+
+    This is the compiler's *static* schedule estimate used to choose
+    prefetch distances (software pipelining needs to know how long one
+    strip of computation takes relative to the fault latency).  Hint
+    statements are ignored: the overhead of issuing prefetches is not part
+    of the useful-work schedule.
+    """
+    total = 0.0
+    for stmt in body:
+        if isinstance(stmt, Work):
+            total += stmt.cost_us
+        elif isinstance(stmt, Loop):
+            trips = trip_count(stmt, known, options)
+            total += trips.count * iteration_cost_us(stmt.body, known, options)
+        elif isinstance(stmt, If):
+            # Assume the then-branch (two-version loops pick one at runtime).
+            total += iteration_cost_us(stmt.then_body, known, options)
+        elif isinstance(stmt, Hint):
+            continue
+    return total

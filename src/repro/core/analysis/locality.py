@@ -1,0 +1,203 @@
+"""Locality analysis, re-parameterized from caches to paged memory.
+
+The paper's compiler takes Mowry's cache-prefetching locality analysis and
+swaps in the page size for the line size (Section 2.3).  The three kinds
+of reuse it distinguishes:
+
+* **self-spatial**: the reference's byte stride along a loop is smaller
+  than a page, so faults occur only on iterations that cross page
+  boundaries;
+* **self-temporal**: the loop's variable does not appear in the subscript
+  at all, so the same data is reused every iteration;
+* **group**: several references to the same array differ only by a small
+  constant offset and "effectively share the same data" -- only the
+  *leading* reference needs a prefetch, and the *trailing* reference marks
+  the release point.
+
+Indirect references (a subscript containing :class:`ElemOf`) defeat all of
+this -- their stride is data-dependent -- which is precisely why the paper
+prefetches them one page per iteration and leans on the run-time layer to
+drop the mostly-unnecessary results (Sections 2.3, 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.analysis.bounds import trip_count
+from repro.core.ir.expr import Affine, Const, ElemOf, Var
+from repro.core.ir.nodes import ArrayRef, Loop
+from repro.core.options import CompilerOptions
+
+
+def _affine_coeff(index, var: str) -> int | None:
+    """Coefficient of ``var`` in one subscript, None if non-affine."""
+    if isinstance(index, Const):
+        return 0
+    if isinstance(index, Var):
+        return 1 if index.name == var else 0
+    if isinstance(index, Affine):
+        return index.coeff(var)
+    if isinstance(index, ElemOf):
+        # Data-dependent: unknown stride if the variable feeds the lookup.
+        return None if var in index.free_vars() else 0
+    return None
+
+
+def is_indirect_in(ref: ArrayRef, var: str) -> bool:
+    """Does ``ref``'s address depend on ``var`` through an index array?"""
+    return any(
+        isinstance(ix, ElemOf) and var in ix.free_vars() for ix in ref.indices
+    )
+
+
+def is_affine(ref: ArrayRef) -> bool:
+    """True when every subscript is affine (no indirect lookups)."""
+    return not any(isinstance(ix, ElemOf) for ix in ref.indices)
+
+
+def ref_stride_bytes(
+    ref: ArrayRef, var: str, known: Mapping[str, int]
+) -> int | None:
+    """Byte stride of ``ref`` per unit increment of ``var``.
+
+    None when the stride is unknowable at compile time: an indirect
+    subscript involving ``var``, or a dimension stride that depends on a
+    runtime-only parameter.
+    """
+    strides = ref.array.compile_time_strides(known)
+    total = 0
+    for index, dim_stride in zip(ref.indices, strides):
+        coeff = _affine_coeff(index, var)
+        if coeff is None:
+            return None
+        if coeff == 0:
+            continue
+        if dim_stride is None:
+            return None
+        total += coeff * dim_stride
+    return total * ref.array.elem_size
+
+
+def footprint_bytes(
+    ref: ArrayRef,
+    loops: Sequence[Loop],
+    known: Mapping[str, int],
+    options: CompilerOptions,
+) -> int | None:
+    """Bounding-box size of the data ``ref`` touches over ``loops``.
+
+    Standard bounding-box volume: ``sum((trip_l - 1) * |stride_l|) +
+    elem_size``.  None for indirect references (unknown range).
+    """
+    total = ref.array.elem_size
+    for lp in loops:
+        stride = ref_stride_bytes(ref, lp.var, known)
+        if stride is None:
+            return None
+        if stride == 0:
+            continue
+        trips = trip_count(lp, known, options)
+        total += (max(trips.count, 1) - 1) * abs(stride) * lp.step
+    return total
+
+
+def const_offset_bytes(ref: ArrayRef, known: Mapping[str, int]) -> int | None:
+    """Constant part of the reference's byte offset (for group locality)."""
+    strides = ref.array.compile_time_strides(known)
+    total = 0
+    for index, dim_stride in zip(ref.indices, strides):
+        if isinstance(index, Const):
+            const = index.value
+        elif isinstance(index, Var):
+            const = 0
+        elif isinstance(index, Affine):
+            const = index.const
+        else:
+            return None
+        if const:
+            if dim_stride is None:
+                return None
+            total += const * dim_stride
+    return total * ref.array.elem_size
+
+
+def _coeff_signature(
+    ref: ArrayRef, loop_vars: Sequence[str], known: Mapping[str, int]
+) -> tuple | None:
+    """Per-loop-variable stride signature; None for indirect references."""
+    sig = []
+    for var in loop_vars:
+        stride = ref_stride_bytes(ref, var, known)
+        if stride is None:
+            return None
+        sig.append(stride)
+    return tuple(sig)
+
+
+@dataclass
+class RefGroup:
+    """References sharing group locality; only the leader is prefetched."""
+
+    array_name: str
+    members: list[ArrayRef]
+    leader: ArrayRef
+    trailer: ArrayRef
+    signature: tuple
+
+
+def group_references(
+    refs: Sequence[ArrayRef],
+    loop_vars: Sequence[str],
+    known: Mapping[str, int],
+    options: CompilerOptions,
+) -> tuple[list[RefGroup], list[ArrayRef]]:
+    """Partition references into locality groups.
+
+    Returns ``(groups, ungrouped)``: affine references to the same array
+    with identical stride signatures and constant offsets within one page
+    form a group; indirect references come back in ``ungrouped``.
+
+    The leader is the member that touches new data first: the one with the
+    largest constant offset when travel is forward (positive stride along
+    the fastest-varying loop), smallest when backward.
+    """
+    groups: dict[tuple, list[tuple[ArrayRef, int]]] = {}
+    ungrouped: list[ArrayRef] = []
+    for ref in refs:
+        sig = _coeff_signature(ref, loop_vars, known)
+        offset = const_offset_bytes(ref, known)
+        if sig is None or offset is None:
+            ungrouped.append(ref)
+            continue
+        groups.setdefault((ref.array.name, sig), []).append((ref, offset))
+
+    out: list[RefGroup] = []
+    for (array_name, sig), members in groups.items():
+        members.sort(key=lambda pair: pair[1])
+        # Split runs whose neighbouring offsets are a page or more apart:
+        # those do not "effectively share the same data".
+        runs: list[list[tuple[ArrayRef, int]]] = [[members[0]]]
+        for ref, offset in members[1:]:
+            if offset - runs[-1][-1][1] < options.page_size:
+                runs[-1].append((ref, offset))
+            else:
+                runs.append([(ref, offset)])
+        travel = next((s for s in sig if s != 0), 0)
+        for run in runs:
+            refs_only = [r for r, _ in run]
+            if travel >= 0:
+                leader, trailer = run[-1][0], run[0][0]
+            else:
+                leader, trailer = run[0][0], run[-1][0]
+            out.append(
+                RefGroup(
+                    array_name=array_name,
+                    members=refs_only,
+                    leader=leader,
+                    trailer=trailer,
+                    signature=sig,
+                )
+            )
+    return out, ungrouped

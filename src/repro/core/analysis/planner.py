@@ -1,0 +1,397 @@
+"""The prefetch planner: which references get which hints, where.
+
+For every data reference the planner decides (paper Section 2.3):
+
+1. whether it needs prefetching at all (arrays the compiler believes stay
+   memory-resident are skipped; so are references that touch at most one
+   page);
+2. which loop to software-pipeline across -- "the first surrounding loop
+   which touches more than a page of the given array";
+3. the strip length (iterations per block prefetch), the number of pages
+   per block hint, and the prefetch distance in strips (dense references)
+   or iterations (indirect references);
+4. whether to bundle a trailing release with the steady-state prefetch.
+
+Group locality is resolved here: only each group's leader is planned.
+
+Decisions about loops with runtime-only bounds are made with the
+``assumed_symbolic_trip`` guess and flagged inexact; the two-version-loop
+extension consumes those flags.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.analysis.bounds import iteration_cost_us, trip_count
+from repro.core.analysis.locality import (
+    footprint_bytes,
+    group_references,
+    is_affine,
+    is_indirect_in,
+    ref_stride_bytes,
+)
+from repro.core.ir.nodes import ArrayRef, Loop, Program, Work
+from repro.core.ir.visit import walk_refs
+from repro.core.options import CompilerOptions
+
+
+class _AssumedEnv(dict):
+    """Compile-time bindings that answer unknown names with a guess.
+
+    The compiler must produce *some* plan for symbolically-sized loops and
+    arrays; like the paper's compiler it guesses the bounds are large.
+    """
+
+    def __init__(self, known: Mapping[str, int], assumed: int) -> None:
+        super().__init__(known)
+        self.assumed = assumed
+
+    def __missing__(self, key: str) -> int:
+        return self.assumed
+
+    def get(self, key, default=None):  # Mapping.get bypasses __missing__
+        if key in self:
+            return dict.__getitem__(self, key)
+        return self.assumed
+
+
+class PlanKind(enum.Enum):
+    """What the planner decided for one reference."""
+
+    DENSE = "dense"  # block-prefetched via strip mining + pipelining
+    INDIRECT = "indirect"  # one page per iteration, fixed lookahead
+    COVERED = "covered"  # group member covered by its leader
+    NONE = "none"  # no prefetch
+
+
+@dataclass
+class RefPlan:
+    """The planning outcome for one static reference."""
+
+    ref: ArrayRef
+    kind: PlanKind
+    reason: str
+    work: Work | None = None
+    pipeline_loop: Loop | None = None
+    #: Dense: iterations of the pipeline loop per block hint.
+    strip_iters: int = 0
+    #: Dense: pages per block hint.
+    pages_per_hint: int = 0
+    #: Dense: prefetch distance in strips.
+    distance_strips: int = 0
+    #: Dense: compile-time byte consumption per pipeline-loop iteration.
+    bytes_per_iter: int = 0
+    #: Indirect: lookahead in iterations of the pipeline loop.
+    lookahead_iters: int = 0
+    #: Dense: bundle a trailing release with the steady-state prefetch.
+    release: bool = False
+    #: The pipeline-loop decision relied on an assumed (inexact) trip.
+    inexact: bool = False
+    #: Inner-loop var lower bounds, for hint-address substitution.
+    inner_lowers: dict = field(default_factory=dict)
+
+
+@dataclass
+class ProgramPlan:
+    """All planning results for one program."""
+
+    plans: list[RefPlan]
+    #: Dense plans grouped by the pipeline loop they transform.
+    dense_by_loop: dict[int, list[RefPlan]]
+    #: Indirect plans grouped by the Work statement they precede.
+    indirect_by_work: dict[int, list[RefPlan]]
+    #: Loops whose pipeline decision was inexact (two-version candidates).
+    inexact_loops: list[RefPlan]
+
+    def summary(self) -> str:
+        lines = []
+        for plan in self.plans:
+            target = plan.ref.array.name
+            if plan.kind is PlanKind.DENSE:
+                lines.append(
+                    f"{target}: dense, pipeline={plan.pipeline_loop.var}, "
+                    f"strip={plan.strip_iters} iters, "
+                    f"{plan.pages_per_hint} pages/hint, "
+                    f"distance={plan.distance_strips} strips"
+                    + (", +release" if plan.release else "")
+                    + (", INEXACT bounds" if plan.inexact else "")
+                )
+            elif plan.kind is PlanKind.INDIRECT:
+                lines.append(
+                    f"{target}: indirect, pipeline={plan.pipeline_loop.var}, "
+                    f"lookahead={plan.lookahead_iters} iterations"
+                )
+            else:
+                lines.append(f"{target}: {plan.kind.value} ({plan.reason})")
+        return "\n".join(lines)
+
+
+def _array_bytes_estimate(ref: ArrayRef, env: Mapping[str, int]) -> int:
+    total = ref.array.elem_size
+    for dim in ref.array.shape:
+        total *= dim if isinstance(dim, int) else env.get(dim)
+    return total
+
+
+def _pipeline_search(
+    ref: ArrayRef,
+    path: tuple[Loop, ...],
+    env: _AssumedEnv,
+    exact_known: Mapping[str, int],
+    options: CompilerOptions,
+) -> tuple[int, bool] | None:
+    """Find the pipeline loop index in ``path`` (innermost first).
+
+    Returns ``(index, inexact)`` or None when no loop touches more than a
+    page of the array.  ``inexact`` is True when the chosen footprint
+    depended on assumed values.
+    """
+    for k in range(len(path) - 1, -1, -1):
+        fp_assumed = footprint_bytes(ref, path[k:], env, options)
+        if fp_assumed is None or fp_assumed <= options.page_size:
+            continue
+        fp_exact = footprint_bytes(ref, path[k:], exact_known, options)
+        trips_exact = all(
+            trip_count(lp, exact_known, options).exact for lp in path[k:]
+        )
+        inexact = fp_exact is None or not trips_exact
+        return k, inexact
+    return None
+
+
+def plan_program(program: Program, options: CompilerOptions) -> ProgramPlan:
+    """Plan every reference in ``program``."""
+    exact_known = dict(program.compile_time_params)
+    env = _AssumedEnv(exact_known, options.assumed_symbolic_trip)
+
+    # Collect references with their contexts.
+    entries = list(walk_refs(program.body))
+
+    # First pass: find each reference's pipeline loop (or lack of one).
+    pre: list[tuple[ArrayRef, Work, tuple[Loop, ...], tuple[int, bool] | None, str]] = []
+    for ref, workstmt, path in entries:
+        if not path:
+            pre.append((ref, workstmt, path, None, "reference outside any loop"))
+            continue
+        nbytes = _array_bytes_estimate(ref, env)
+        if nbytes <= options.effective_memory_bytes and is_affine(ref):
+            pre.append(
+                (ref, workstmt, path, None,
+                 "array assumed to stay memory-resident (fits effective memory)")
+            )
+            continue
+        if is_affine(ref):
+            found = _pipeline_search(ref, path, env, exact_known, options)
+            reason = "" if found else "touches at most one page across the nest"
+            pre.append((ref, workstmt, path, found, reason))
+        else:
+            # Indirect: pipeline across the innermost loop feeding the
+            # index array lookup.
+            k = next(
+                (
+                    i
+                    for i in range(len(path) - 1, -1, -1)
+                    if is_indirect_in(ref, path[i].var)
+                ),
+                None,
+            )
+            if k is None:
+                pre.append(
+                    (ref, workstmt, path, None,
+                     "indirect subscript independent of every loop")
+                )
+            else:
+                pre.append((ref, workstmt, path, (k, False), "indirect"))
+
+    plans: list[RefPlan] = []
+    dense_by_loop: dict[int, list[RefPlan]] = {}
+    indirect_by_work: dict[int, list[RefPlan]] = {}
+    inexact_loops: list[RefPlan] = []
+
+    # Group dense candidates per (pipeline loop, enclosing path) so group
+    # locality can elect leaders.
+    dense_candidates: dict[int, list[tuple[ArrayRef, Work, tuple[Loop, ...], int, bool]]] = {}
+    seen_indirect: set[tuple] = set()
+    for ref, workstmt, path, found, reason in pre:
+        if found is None:
+            plans.append(RefPlan(ref=ref, kind=PlanKind.NONE, reason=reason, work=workstmt))
+            continue
+        k, inexact = found
+        if is_affine(ref):
+            dense_candidates.setdefault(path[k].loop_id, []).append(
+                (ref, workstmt, path, k, inexact)
+            )
+        else:
+            # A read and a write of the same indirect element (or repeated
+            # uses in one statement) share one prefetch: group locality in
+            # its degenerate, textual form.
+            key = (
+                id(workstmt),
+                ref.array.name,
+                tuple(repr(ix) for ix in ref.indices),
+            )
+            if key in seen_indirect:
+                plans.append(
+                    RefPlan(
+                        ref=ref,
+                        kind=PlanKind.COVERED,
+                        reason="identical indirect reference already prefetched",
+                        work=workstmt,
+                        pipeline_loop=path[k],
+                    )
+                )
+                continue
+            seen_indirect.add(key)
+            plan = _plan_indirect(ref, workstmt, path, k, env, options)
+            plans.append(plan)
+            indirect_by_work.setdefault(id(workstmt), []).append(plan)
+
+    for loop_id, candidates in dense_candidates.items():
+        refs = [c[0] for c in candidates]
+        path0 = candidates[0][2]
+        loop_vars = [lp.var for lp in path0]
+        groups, ungrouped = group_references(refs, loop_vars, env, options)
+        leaders = {id(g.leader) for g in groups}
+        covered = {
+            id(member)
+            for g in groups
+            for member in g.members
+            if id(member) not in leaders
+        }
+        for ref, workstmt, path, k, inexact in candidates:
+            if id(ref) in covered:
+                plans.append(
+                    RefPlan(
+                        ref=ref,
+                        kind=PlanKind.COVERED,
+                        reason="group locality: covered by the group leader",
+                        work=workstmt,
+                        pipeline_loop=path[k],
+                    )
+                )
+                continue
+            plan = _plan_dense(ref, workstmt, path, k, inexact, env, options)
+            plans.append(plan)
+            if plan.kind is PlanKind.DENSE:
+                dense_by_loop.setdefault(path[k].loop_id, []).append(plan)
+                if plan.inexact:
+                    inexact_loops.append(plan)
+
+    return ProgramPlan(
+        plans=plans,
+        dense_by_loop=dense_by_loop,
+        indirect_by_work=indirect_by_work,
+        inexact_loops=inexact_loops,
+    )
+
+
+def _inner_lower_bounds(path: tuple[Loop, ...], k: int) -> dict:
+    """Lower-bound expressions of the loops inside the pipeline loop."""
+    return {lp.var: lp.lower for lp in path[k + 1:]}
+
+
+def _plan_dense(
+    ref: ArrayRef,
+    workstmt: Work,
+    path: tuple[Loop, ...],
+    k: int,
+    inexact: bool,
+    env: _AssumedEnv,
+    options: CompilerOptions,
+) -> RefPlan:
+    loop = path[k]
+    stride = ref_stride_bytes(ref, loop.var, env)
+    if stride is None or stride == 0:
+        return RefPlan(
+            ref=ref,
+            kind=PlanKind.NONE,
+            reason="no analyzable stride along the pipeline loop",
+            work=workstmt,
+        )
+    # Data consumed per pipeline-loop iteration: the inner loops' footprint
+    # when they traverse the array, otherwise the pipeline stride itself.
+    inner_fp = footprint_bytes(ref, path[k + 1:], env, options) or 0
+    stride_bytes = abs(stride) * loop.step
+    block_bytes = options.block_pages * options.page_size
+    if inner_fp > options.page_size:
+        # Inner loops sweep more than a page per iteration (wide rows):
+        # block-prefetch the whole per-iteration range, one hint per
+        # iteration.
+        bytes_per_iter = max(inner_fp, ref.array.elem_size)
+        strip_iters = 1
+        pages_per_hint = -(-bytes_per_iter // options.page_size)
+    elif stride_bytes >= options.page_size:
+        # No spatial locality: each iteration lands on a different page
+        # (the z-sweeps of the ADI solvers); prefetch that page only.
+        bytes_per_iter = stride_bytes
+        strip_iters = 1
+        pages_per_hint = 1
+    else:
+        # Spatial locality: page faults only on page-crossing iterations;
+        # strip-mine to one block prefetch per ``block_pages`` pages.
+        bytes_per_iter = max(stride_bytes, ref.array.elem_size)
+        strip_iters = max(1, block_bytes // bytes_per_iter)
+        pages_per_hint = -(-(strip_iters * bytes_per_iter) // options.page_size)
+
+    strip_cost = strip_iters * iteration_cost_us(loop.body, env, options)
+    if strip_cost <= 0:
+        distance = options.max_distance_strips
+    else:
+        distance = math.ceil(options.fault_latency_us / strip_cost)
+    distance = max(options.min_distance_strips,
+                   min(options.max_distance_strips, distance))
+
+    release = False
+    if options.release_policy == "aggressive":
+        release = True
+    elif options.release_policy == "streaming":
+        # Only for top-level sequential streams: the pipeline loop is the
+        # outermost loop of the nest (no surrounding loop will re-traverse
+        # the data soon) and the reference consumes at most a page per
+        # iteration (a genuine stream, not a strided sweep).
+        release = k == 0 and bytes_per_iter <= options.page_size
+
+    return RefPlan(
+        ref=ref,
+        kind=PlanKind.DENSE,
+        reason="dense reference with spatial locality",
+        work=workstmt,
+        pipeline_loop=loop,
+        strip_iters=strip_iters,
+        pages_per_hint=pages_per_hint,
+        distance_strips=distance,
+        bytes_per_iter=bytes_per_iter,
+        release=release,
+        inexact=inexact,
+        inner_lowers=_inner_lower_bounds(path, k),
+    )
+
+
+def _plan_indirect(
+    ref: ArrayRef,
+    workstmt: Work,
+    path: tuple[Loop, ...],
+    k: int,
+    env: _AssumedEnv,
+    options: CompilerOptions,
+) -> RefPlan:
+    loop = path[k]
+    iter_cost = iteration_cost_us(loop.body, env, options)
+    if iter_cost <= 0:
+        lookahead = options.max_indirect_distance
+    else:
+        lookahead = math.ceil(options.fault_latency_us / iter_cost)
+    lookahead = max(1, min(options.max_indirect_distance, lookahead))
+    return RefPlan(
+        ref=ref,
+        kind=PlanKind.INDIRECT,
+        reason="indirect reference: stride unknowable at compile time",
+        work=workstmt,
+        pipeline_loop=loop,
+        lookahead_iters=lookahead,
+        inner_lowers=_inner_lower_bounds(path, k),
+    )

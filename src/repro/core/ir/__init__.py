@@ -1,0 +1,47 @@
+"""Loop-nest intermediate representation for the prefetching compiler."""
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.expr import (
+    Affine,
+    CeilDiv,
+    Const,
+    ElemOf,
+    Expr,
+    MinExpr,
+    Var,
+    as_expr,
+)
+from repro.core.ir.nodes import (
+    AddrOf,
+    ArrayRef,
+    Cmp,
+    Hint,
+    HintKind,
+    If,
+    Loop,
+    Program,
+    Stmt,
+    Work,
+)
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Affine",
+    "ElemOf",
+    "MinExpr",
+    "CeilDiv",
+    "as_expr",
+    "ArrayDecl",
+    "ArrayRef",
+    "AddrOf",
+    "Stmt",
+    "Work",
+    "Loop",
+    "Hint",
+    "HintKind",
+    "If",
+    "Cmp",
+    "Program",
+]

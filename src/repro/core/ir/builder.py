@@ -1,0 +1,92 @@
+"""Convenience constructors for building programs.
+
+Application models (and tests) build loop nests with these helpers::
+
+    from repro.core.ir.builder import ProgramBuilder, loop, work, read, write
+    from repro.core.ir.expr import Var
+
+    b = ProgramBuilder("example")
+    i, j = Var("i"), Var("j")
+    a = b.array("a", (100_000,), elem_size=4)
+    c = b.array("c", (100_000, 100), elem_size=4)
+    b.append(
+        loop("i", 0, 100_000, [
+            loop("j", 0, 100, [
+                work([read(c, i, j), write(a, i)], cost=0.2,
+                     text="a[i] += c[i][j];"),
+            ]),
+        ])
+    )
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.ir.arrays import ArrayDecl, DimLike
+from repro.core.ir.expr import ExprLike
+from repro.core.ir.nodes import ArrayRef, Loop, Program, Stmt, Work
+
+
+def loop(var: str, lower: ExprLike, upper: ExprLike, body: Sequence[Stmt],
+         step: int = 1) -> Loop:
+    """Build a counted loop."""
+    return Loop(var, lower, upper, body, step=step)
+
+
+def work(refs: Sequence[ArrayRef], cost: float, text: str | None = None) -> Work:
+    """Build one straight-line work unit."""
+    return Work(refs, cost, text=text)
+
+
+def read(array: ArrayDecl, *indices: ExprLike) -> ArrayRef:
+    """A read reference ``array[indices...]``."""
+    return ArrayRef(array, indices, is_write=False)
+
+
+def write(array: ArrayDecl, *indices: ExprLike) -> ArrayRef:
+    """A write reference ``array[indices...]``."""
+    return ArrayRef(array, indices, is_write=True)
+
+
+class ProgramBuilder:
+    """Accumulates arrays and statements into a :class:`Program`."""
+
+    def __init__(
+        self,
+        name: str,
+        params: dict[str, int] | None = None,
+        compile_time_params: dict[str, int] | None = None,
+    ) -> None:
+        self.name = name
+        self.params = dict(params or {})
+        self.compile_time_params = compile_time_params
+        self._arrays: list[ArrayDecl] = []
+        self._body: list[Stmt] = []
+
+    def array(
+        self,
+        name: str,
+        shape: Sequence[DimLike],
+        elem_size: int = 8,
+        data: np.ndarray | None = None,
+    ) -> ArrayDecl:
+        """Declare an array and return its handle."""
+        decl = ArrayDecl(name, shape, elem_size=elem_size, data=data)
+        self._arrays.append(decl)
+        return decl
+
+    def append(self, *stmts: Stmt) -> None:
+        self._body.extend(stmts)
+
+    def build(self) -> Program:
+        return Program(
+            self.name,
+            self._arrays,
+            self._body,
+            params=self.params,
+            compile_time_params=self.compile_time_params,
+        )

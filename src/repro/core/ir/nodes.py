@@ -1,0 +1,273 @@
+"""Statement nodes of the loop-nest IR.
+
+A program body is a list of statements:
+
+* :class:`Work` -- one straight-line unit: an ordered list of array
+  references plus the CPU cost of executing it once.  This is the
+  ``a[b[i]] += c[i][j] * b[i]`` of the paper's Figure 2(a).
+* :class:`Loop` -- a counted ``for`` loop (positive constant step; the
+  bounds may be arbitrary affine/min expressions, which is what
+  strip-mined loops need).
+* :class:`Hint` -- a compiler-inserted non-binding ``prefetch``,
+  ``release``, or bundled ``prefetch_release`` call (Figure 2(b)).
+* :class:`If` -- a runtime bound test, used only by the two-version loop
+  extension (Section 4.1.1's proposed fix).
+
+Hints carry *addresses* (:class:`AddrOf`), not data references: executing
+a hint never reads or writes the array, which is what makes them
+non-binding and lets the access-trace equivalence property hold between
+the original and the transformed program.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Sequence
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.expr import Expr, ExprLike, as_expr
+from repro.errors import IRError
+
+_loop_ids = itertools.count(1)
+
+
+class ArrayRef:
+    """One data reference: ``array[indices...]``, read or write."""
+
+    __slots__ = ("array", "indices", "is_write")
+
+    def __init__(
+        self, array: ArrayDecl, indices: Sequence[ExprLike], is_write: bool = False
+    ) -> None:
+        if len(indices) != len(array.shape):
+            raise IRError(
+                f"reference to {array.name!r} has {len(indices)} subscripts, "
+                f"array has {len(array.shape)} dimensions"
+            )
+        self.array = array
+        self.indices = tuple(as_expr(ix) for ix in indices)
+        self.is_write = is_write
+
+    def __repr__(self) -> str:
+        subs = "][".join(repr(ix) for ix in self.indices)
+        suffix = " (w)" if self.is_write else ""
+        return f"{self.array.name}[{subs}]{suffix}"
+
+
+class AddrOf:
+    """The address ``&array[indices...]`` (hint targets only)."""
+
+    __slots__ = ("array", "indices")
+
+    def __init__(self, array: ArrayDecl, indices: Sequence[ExprLike]) -> None:
+        if len(indices) != len(array.shape):
+            raise IRError(
+                f"address of {array.name!r} has {len(indices)} subscripts, "
+                f"array has {len(array.shape)} dimensions"
+            )
+        self.array = array
+        self.indices = tuple(as_expr(ix) for ix in indices)
+
+    def __repr__(self) -> str:
+        subs = "][".join(repr(ix) for ix in self.indices)
+        return f"&{self.array.name}[{subs}]"
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+class Work(Stmt):
+    """Straight-line computation touching ``refs`` at cost ``cost_us``."""
+
+    __slots__ = ("refs", "cost_us", "text")
+
+    def __init__(
+        self, refs: Sequence[ArrayRef], cost_us: float, text: str | None = None
+    ) -> None:
+        if cost_us < 0:
+            raise IRError(f"work cost must be >= 0, got {cost_us}")
+        self.refs = tuple(refs)
+        self.cost_us = float(cost_us)
+        #: Optional source-level text for the pretty printer (Figure 2).
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"Work({', '.join(map(repr, self.refs))}; {self.cost_us}us)"
+
+
+class Loop(Stmt):
+    """``for var in range(lower, upper, step): body``."""
+
+    __slots__ = ("var", "lower", "upper", "step", "body", "loop_id")
+
+    def __init__(
+        self,
+        var: str,
+        lower: ExprLike,
+        upper: ExprLike,
+        body: Sequence[Stmt],
+        step: int = 1,
+    ) -> None:
+        if not var:
+            raise IRError("loop variable must be named")
+        if not isinstance(step, int) or step <= 0:
+            raise IRError(
+                f"loop step must be a positive int, got {step!r} "
+                "(model backward sweeps with reversed index expressions)"
+            )
+        self.var = var
+        self.lower = as_expr(lower)
+        self.upper = as_expr(upper)
+        self.step = step
+        self.body = list(body)
+        #: Stable identity used by the compiler to attach per-loop plans.
+        self.loop_id = next(_loop_ids)
+
+    def __repr__(self) -> str:
+        return f"Loop({self.var}: {self.lower!r}..{self.upper!r} step {self.step})"
+
+
+class HintKind(enum.Enum):
+    """Which non-binding hint call a :class:`Hint` represents."""
+
+    PREFETCH = "prefetch"
+    RELEASE = "release"
+    PREFETCH_RELEASE = "prefetch_release"
+
+
+class Hint(Stmt):
+    """A compiler-inserted prefetch/release call.
+
+    ``npages`` may be a runtime expression (clamped prolog sizes).  The
+    target address is resolved at execution; addresses that fall outside
+    the target array's segment make the hint a silent no-op -- hints are
+    non-binding, so a lookahead running past an array end is harmless
+    (the real compiler's epilog guards become address clamping here).
+    """
+
+    __slots__ = ("kind", "target", "npages", "release_target", "release_npages")
+
+    def __init__(
+        self,
+        kind: HintKind,
+        target: AddrOf | None,
+        npages: ExprLike = 1,
+        release_target: AddrOf | None = None,
+        release_npages: ExprLike = 1,
+    ) -> None:
+        if kind in (HintKind.PREFETCH, HintKind.PREFETCH_RELEASE) and target is None:
+            raise IRError(f"{kind.value} hint requires a prefetch target")
+        if kind in (HintKind.RELEASE, HintKind.PREFETCH_RELEASE) and release_target is None:
+            if kind is HintKind.RELEASE and target is not None:
+                # Allow Hint(RELEASE, target) shorthand.
+                release_target, target = target, None
+            else:
+                raise IRError(f"{kind.value} hint requires a release target")
+        self.kind = kind
+        self.target = target
+        self.npages = as_expr(npages)
+        self.release_target = release_target
+        self.release_npages = as_expr(release_npages)
+
+    def __repr__(self) -> str:
+        if self.kind is HintKind.PREFETCH:
+            return f"prefetch_block({self.target!r}, {self.npages!r})"
+        if self.kind is HintKind.RELEASE:
+            return f"release_block({self.release_target!r}, {self.release_npages!r})"
+        return (
+            f"prefetch_release_block({self.target!r}, {self.release_target!r}, "
+            f"{self.npages!r})"
+        )
+
+
+class Cmp:
+    """A comparison between two expressions (two-version loop guards)."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    _OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+    def __init__(self, lhs: ExprLike, op: str, rhs: ExprLike) -> None:
+        if op not in self._OPS:
+            raise IRError(f"unsupported comparison operator {op!r}")
+        self.lhs = as_expr(lhs)
+        self.op = op
+        self.rhs = as_expr(rhs)
+
+    def eval(self, env) -> bool:
+        a = self.lhs.eval(env)
+        b = self.rhs.eval(env)
+        if self.op == "<":
+            return a < b
+        if self.op == "<=":
+            return a <= b
+        if self.op == ">":
+            return a > b
+        if self.op == ">=":
+            return a >= b
+        if self.op == "==":
+            return a == b
+        return a != b
+
+    def __repr__(self) -> str:
+        return f"{self.lhs!r} {self.op} {self.rhs!r}"
+
+
+class If(Stmt):
+    """Runtime test selecting between two loop versions (Section 4.1.1)."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: Cmp, then_body: Sequence[Stmt], else_body: Sequence[Stmt] = ()) -> None:
+        self.cond = cond
+        self.then_body = list(then_body)
+        self.else_body = list(else_body)
+
+    def __repr__(self) -> str:
+        return f"If({self.cond!r})"
+
+
+class Program:
+    """A whole application: parameters, arrays, and a statement list.
+
+    ``params`` are the runtime parameter bindings.  ``compile_time_params``
+    is the subset the *compiler* is allowed to see; anything absent is a
+    symbolic value the compiler must guess about -- the mechanism behind
+    the paper's APPBT coverage loss (Section 4.1.1).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arrays: Sequence[ArrayDecl],
+        body: Sequence[Stmt],
+        params: dict[str, int] | None = None,
+        compile_time_params: dict[str, int] | None = None,
+    ) -> None:
+        self.name = name
+        self.arrays = list(arrays)
+        self.body = list(body)
+        self.params = dict(params or {})
+        if compile_time_params is None:
+            compile_time_params = dict(self.params)
+        self.compile_time_params = compile_time_params
+        names = [a.name for a in self.arrays]
+        if len(set(names)) != len(names):
+            raise IRError(f"program {name!r} declares duplicate array names")
+
+    def array(self, name: str) -> ArrayDecl:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise IRError(f"program {self.name!r} has no array named {name!r}")
+
+    def total_data_bytes(self) -> int:
+        """Total declared data volume under the runtime parameters."""
+        return sum(arr.nbytes(self.params) for arr in self.arrays)
+
+    def __repr__(self) -> str:
+        return f"Program({self.name!r}, {len(self.arrays)} arrays, {len(self.body)} stmts)"

@@ -1,0 +1,140 @@
+"""C-like pretty printer.
+
+Renders programs in the style of the paper's Figure 2, so the quickstart
+example can show the "output of the prefetching compiler" side by side
+with the input::
+
+    prefetch_block(&b[0], 16);
+    for (i0 = 0; i0 < 100000 - 16384; i0 += 2048) {
+      prefetch_block(&b[i0 + 16384], 4);
+      for (i = i0; i < min(i0 + 2048, 100000); i++) {
+        prefetch(&a[b[i + 96]], 1);
+        a[b[i]] += c[i][j];
+      }
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ir.expr import Affine, CeilDiv, Const, ElemOf, Expr, MaxExpr, MinExpr, Var
+from repro.core.ir.nodes import AddrOf, Hint, HintKind, If, Loop, Program, Stmt, Work
+
+_INDENT = "  "
+
+
+def format_expr(expr: Expr) -> str:
+    """Render one expression as C-ish source."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Affine):
+        parts: list[str] = []
+        for name, coeff in expr.terms.items():
+            if coeff == 1:
+                term = name
+            elif coeff == -1:
+                term = f"-{name}"
+            else:
+                term = f"{coeff}*{name}"
+            parts.append(term)
+        if expr.const or not parts:
+            parts.append(str(expr.const))
+        text = " + ".join(parts)
+        return text.replace("+ -", "- ")
+    if isinstance(expr, ElemOf):
+        return f"{expr.array.name}[{format_expr(expr.index)}]"
+    if isinstance(expr, MinExpr):
+        return f"min({format_expr(expr.a)}, {format_expr(expr.b)})"
+    if isinstance(expr, MaxExpr):
+        return f"max({format_expr(expr.a)}, {format_expr(expr.b)})"
+    if isinstance(expr, CeilDiv):
+        return f"ceil({format_expr(expr.a)}, {expr.divisor})"
+    return repr(expr)
+
+
+def format_addr(addr: AddrOf) -> str:
+    subs = "][".join(format_expr(ix) for ix in addr.indices)
+    return f"&{addr.array.name}[{subs}]"
+
+
+def _format_work(stmt: Work) -> str:
+    if stmt.text is not None:
+        return stmt.text
+    reads = [r for r in stmt.refs if not r.is_write]
+    writes = [r for r in stmt.refs if r.is_write]
+
+    def one(ref) -> str:
+        subs = "][".join(format_expr(ix) for ix in ref.indices)
+        return f"{ref.array.name}[{subs}]"
+
+    lhs = ", ".join(one(r) for r in writes) if writes else "(void)"
+    rhs = ", ".join(one(r) for r in reads) if reads else "0"
+    return f"{lhs} = f({rhs});"
+
+
+def _format_hint(stmt: Hint) -> str:
+    if stmt.kind is HintKind.PREFETCH:
+        if isinstance(stmt.npages, Const) and stmt.npages.value == 1:
+            return f"prefetch({format_addr(stmt.target)});"
+        return f"prefetch_block({format_addr(stmt.target)}, {format_expr(stmt.npages)});"
+    if stmt.kind is HintKind.RELEASE:
+        if isinstance(stmt.release_npages, Const) and stmt.release_npages.value == 1:
+            return f"release({format_addr(stmt.release_target)});"
+        return (
+            f"release_block({format_addr(stmt.release_target)}, "
+            f"{format_expr(stmt.release_npages)});"
+        )
+    return (
+        f"prefetch_release_block({format_addr(stmt.target)}, "
+        f"{format_addr(stmt.release_target)}, {format_expr(stmt.npages)});"
+    )
+
+
+def _emit(body: Sequence[Stmt], lines: list[str], depth: int) -> None:
+    pad = _INDENT * depth
+    for stmt in body:
+        if isinstance(stmt, Work):
+            lines.append(pad + _format_work(stmt))
+        elif isinstance(stmt, Hint):
+            lines.append(pad + _format_hint(stmt))
+        elif isinstance(stmt, Loop):
+            step = f"{stmt.var} += {stmt.step}" if stmt.step != 1 else f"{stmt.var}++"
+            lines.append(
+                pad
+                + f"for ({stmt.var} = {format_expr(stmt.lower)}; "
+                + f"{stmt.var} < {format_expr(stmt.upper)}; {step}) {{"
+            )
+            _emit(stmt.body, lines, depth + 1)
+            lines.append(pad + "}")
+        elif isinstance(stmt, If):
+            cond = (
+                f"{format_expr(stmt.cond.lhs)} {stmt.cond.op} "
+                f"{format_expr(stmt.cond.rhs)}"
+            )
+            lines.append(pad + f"if ({cond}) {{")
+            _emit(stmt.then_body, lines, depth + 1)
+            if stmt.else_body:
+                lines.append(pad + "} else {")
+                _emit(stmt.else_body, lines, depth + 1)
+            lines.append(pad + "}")
+        else:
+            lines.append(pad + repr(stmt))
+
+
+def format_program(program: Program, include_decls: bool = True) -> str:
+    """Render the whole program as C-like source text."""
+    lines: list[str] = []
+    if include_decls:
+        for arr in program.arrays:
+            dims = "".join(f"[{d}]" for d in arr.shape)
+            kind = {1: "char", 2: "short", 4: "int", 8: "double"}.get(
+                arr.elem_size, f"elem{arr.elem_size}"
+            )
+            lines.append(f"{kind} {arr.name}{dims};")
+        if program.arrays:
+            lines.append("")
+    _emit(program.body, lines, 0)
+    return "\n".join(lines)

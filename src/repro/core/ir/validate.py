@@ -1,0 +1,83 @@
+"""IR well-formedness checks.
+
+Run by the compiler pass before analysis and by tests after transforms.
+Checks are structural: variable scoping, declared arrays, subscript
+arity (already enforced at construction), and positive loop steps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.expr import ElemOf, Expr
+from repro.core.ir.nodes import Hint, If, Loop, Program, Stmt, Work
+from repro.errors import IRError
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`IRError` on any structural problem."""
+    declared = set(program.params)
+    for arr in program.arrays:
+        for dim in arr.shape:
+            if isinstance(dim, str) and dim not in program.params:
+                raise IRError(
+                    f"array {arr.name!r} dimension parameter {dim!r} "
+                    "is not a program parameter"
+                )
+    _validate_body(program.body, declared, set(a.name for a in program.arrays), program)
+
+
+def _expr_vars_ok(expr: Expr, in_scope: set[str], where: str) -> None:
+    unbound = expr.free_vars() - in_scope
+    if unbound:
+        raise IRError(f"{where}: unbound variables {sorted(unbound)}")
+
+
+def _check_array(arr: ArrayDecl, known_arrays: set[str], program: Program, where: str) -> None:
+    if arr.name not in known_arrays:
+        raise IRError(f"{where}: array {arr.name!r} is not declared by the program")
+
+
+def _validate_indices(indices, in_scope: set[str], known_arrays: set[str],
+                      program: Program, where: str) -> None:
+    for ix in indices:
+        _expr_vars_ok(ix, in_scope, where)
+        if isinstance(ix, ElemOf):
+            _check_array(ix.array, known_arrays, program, where)
+
+
+def _validate_body(
+    body: Sequence[Stmt],
+    in_scope: set[str],
+    known_arrays: set[str],
+    program: Program,
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, Work):
+            for ref in stmt.refs:
+                where = f"work ref {ref!r}"
+                _check_array(ref.array, known_arrays, program, where)
+                _validate_indices(ref.indices, in_scope, known_arrays, program, where)
+        elif isinstance(stmt, Loop):
+            _expr_vars_ok(stmt.lower, in_scope, f"loop {stmt.var!r} lower bound")
+            _expr_vars_ok(stmt.upper, in_scope, f"loop {stmt.var!r} upper bound")
+            if stmt.var in in_scope:
+                raise IRError(f"loop variable {stmt.var!r} shadows an outer binding")
+            _validate_body(stmt.body, in_scope | {stmt.var}, known_arrays, program)
+        elif isinstance(stmt, Hint):
+            for addr in (stmt.target, stmt.release_target):
+                if addr is None:
+                    continue
+                where = f"hint address {addr!r}"
+                _check_array(addr.array, known_arrays, program, where)
+                _validate_indices(addr.indices, in_scope, known_arrays, program, where)
+            _expr_vars_ok(stmt.npages, in_scope, "hint page count")
+            _expr_vars_ok(stmt.release_npages, in_scope, "hint release page count")
+        elif isinstance(stmt, If):
+            _expr_vars_ok(stmt.cond.lhs, in_scope, "if condition")
+            _expr_vars_ok(stmt.cond.rhs, in_scope, "if condition")
+            _validate_body(stmt.then_body, in_scope, known_arrays, program)
+            _validate_body(stmt.else_body, in_scope, known_arrays, program)
+        else:
+            raise IRError(f"unknown statement type {type(stmt).__name__}")

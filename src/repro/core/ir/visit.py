@@ -1,0 +1,98 @@
+"""Tree walkers over the statement IR.
+
+Two styles:
+
+* :func:`walk_refs` -- yields every :class:`ArrayRef` together with its
+  enclosing loop *path* (outermost first), which is what the locality
+  analysis consumes.
+* :func:`transform_stmts` -- bottom-up rewriting: a callback maps each
+  statement to its replacement list, applied to children first.  The
+  transforms (strip mining, pipelining) are written against this.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from repro.core.ir.nodes import ArrayRef, Hint, If, Loop, Stmt, Work
+
+
+def walk_refs(
+    body: Sequence[Stmt], path: tuple[Loop, ...] = ()
+) -> Iterator[tuple[ArrayRef, Work, tuple[Loop, ...]]]:
+    """Yield ``(ref, work, loop_path)`` for every data reference."""
+    for stmt in body:
+        if isinstance(stmt, Work):
+            for ref in stmt.refs:
+                yield ref, stmt, path
+        elif isinstance(stmt, Loop):
+            yield from walk_refs(stmt.body, path + (stmt,))
+        elif isinstance(stmt, If):
+            yield from walk_refs(stmt.then_body, path)
+            yield from walk_refs(stmt.else_body, path)
+        # Hints carry addresses, not references.
+
+
+def walk_loops(body: Sequence[Stmt]) -> Iterator[Loop]:
+    """Yield every loop, outer before inner."""
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            yield stmt
+            yield from walk_loops(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_loops(stmt.then_body)
+            yield from walk_loops(stmt.else_body)
+
+
+def walk_hints(body: Sequence[Stmt]) -> Iterator[Hint]:
+    """Yield every hint statement."""
+    for stmt in body:
+        if isinstance(stmt, Hint):
+            yield stmt
+        elif isinstance(stmt, Loop):
+            yield from walk_hints(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_hints(stmt.then_body)
+            yield from walk_hints(stmt.else_body)
+
+
+def transform_stmts(
+    body: Sequence[Stmt], fn: Callable[[Stmt], list[Stmt]]
+) -> list[Stmt]:
+    """Rewrite a statement list bottom-up.
+
+    ``fn`` receives each statement *after* its children have been
+    rewritten and returns the replacement list (possibly ``[stmt]``).
+    Loops and ifs are rebuilt (fresh nodes) when their bodies change, so
+    the input tree is never mutated.
+    """
+    out: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Loop):
+            new_body = transform_stmts(stmt.body, fn)
+            rebuilt = Loop(stmt.var, stmt.lower, stmt.upper, new_body, step=stmt.step)
+            # Preserve identity for plan lookup across rebuilds.
+            rebuilt.loop_id = stmt.loop_id
+            out.extend(fn(rebuilt))
+        elif isinstance(stmt, If):
+            rebuilt_if = If(
+                stmt.cond,
+                transform_stmts(stmt.then_body, fn),
+                transform_stmts(stmt.else_body, fn),
+            )
+            out.extend(fn(rebuilt_if))
+        else:
+            out.extend(fn(stmt))
+    return out
+
+
+def count_stmts(body: Sequence[Stmt]) -> int:
+    """Total statement count (diagnostics)."""
+    total = 0
+    for stmt in body:
+        total += 1
+        if isinstance(stmt, Loop):
+            total += count_stmts(stmt.body)
+        elif isinstance(stmt, If):
+            total += count_stmts(stmt.then_body) + count_stmts(stmt.else_body)
+    return total

@@ -1,0 +1,104 @@
+"""Compiler pass options.
+
+These are the knobs the paper describes feeding its compiler: the memory
+model (page size standing in for line size, fault latency for miss
+latency, an *effective memory* standing in for cache capacity -- Section
+2.3), the block-prefetch size ("four pages are fetched at a time ... a
+parameter which can be specified to the compiler"), and the symbolic-trip
+assumption behind the APPBT coverage loss (Section 4.1.1), together with
+the two-version-loop fix the paper proposes for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.config import PlatformConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """All knobs of the prefetching pass."""
+
+    #: Memory-model parameters (the analogs of line size and miss latency).
+    page_size: int = 4096
+    fault_latency_us: float = 17_100.0
+
+    #: Pages per block prefetch for references with spatial locality.
+    block_pages: int = 4
+
+    #: The compiler's (deliberately conservative) estimate of how much data
+    #: memory retains across reuse -- the paper notes that "loop-level
+    #: compiler analysis tends to underestimate [main memory's] ability to
+    #: retain data" (Section 2.2.2); arrays at most this large are assumed
+    #: to stay resident after first touch and are not prefetched.
+    effective_memory_bytes: int = 256 * 1024
+
+    #: Trip count assumed for loops whose bounds are unknown at compile
+    #: time.  Assuming "large" is what makes the compiler pipeline across
+    #: an inner loop that turns out to be tiny (the APPBT failure mode).
+    assumed_symbolic_trip: int = 1024
+
+    #: Software-pipelining distance limits, in strips (dense references).
+    min_distance_strips: int = 1
+    max_distance_strips: int = 8
+
+    #: Lookahead cap for indirect references, in iterations.
+    max_indirect_distance: int = 64
+
+    #: Release insertion policy: 'streaming' releases behind sequential
+    #: top-level streams (the paper's non-aggressive behaviour); 'none'
+    #: disables releases; 'aggressive' releases behind every dense
+    #: pipelined reference with no detected temporal reuse.
+    release_policy: str = "streaming"
+
+    #: Section 4.1.1's proposed fix: emit a runtime trip-count test that
+    #: chooses between pipelining across the inner or the outer loop.
+    two_version_loops: bool = False
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ConfigError("page_size must be positive")
+        if self.block_pages <= 0:
+            raise ConfigError("block_pages must be positive")
+        if self.fault_latency_us <= 0:
+            raise ConfigError("fault_latency_us must be positive")
+        if self.min_distance_strips <= 0:
+            raise ConfigError("min_distance_strips must be positive")
+        if self.max_distance_strips < self.min_distance_strips:
+            raise ConfigError("max_distance_strips must be >= min_distance_strips")
+        if self.max_indirect_distance <= 0:
+            raise ConfigError("max_indirect_distance must be positive")
+        if self.release_policy not in ("streaming", "none", "aggressive"):
+            raise ConfigError(
+                f"release_policy must be streaming/none/aggressive, "
+                f"got {self.release_policy!r}"
+            )
+        if self.assumed_symbolic_trip <= 0:
+            raise ConfigError("assumed_symbolic_trip must be positive")
+
+    @classmethod
+    def from_platform(cls, platform: PlatformConfig, **overrides: Any) -> "CompilerOptions":
+        """Derive the memory-model knobs from a platform description.
+
+        The effective-memory estimate scales with the target machine (a
+        sixth of application memory): the compiler must be told the memory
+        size just like it is told the page size and fault latency
+        (Section 2.3), and staying deliberately below the real size
+        reproduces the paper's conservative retention analysis.
+        """
+        base = cls(
+            page_size=platform.page_size,
+            fault_latency_us=platform.average_fault_latency_us(),
+            block_pages=platform.prefetch_block_pages,
+            effective_memory_bytes=max(16 * platform.page_size,
+                                       platform.available_bytes // 6),
+        )
+        if overrides:
+            base = replace(base, **overrides)
+        return base
+
+    def scaled(self, **overrides: Any) -> "CompilerOptions":
+        return replace(self, **overrides)

@@ -1,0 +1,122 @@
+"""The compiler pass driver.
+
+:func:`insert_prefetches` is the public entry point: it takes an ordinary
+in-core program (a loop nest over out-of-core arrays) and returns the
+prefetching version, exactly as the paper's SUIF pass turned Figure 2(a)
+into Figure 2(b):
+
+1. validate the input IR;
+2. run the planner (locality analysis, pipeline-loop selection, strip and
+   distance computation, group-leader election, release decisions);
+3. rewrite bottom-up: indirect hints go in front of their work statements,
+   each pipeline loop is strip-mined and given prolog + steady-state
+   hints;
+4. optionally (``two_version_loops``) compile a second, small-trip-
+   assumption version and merge the two under runtime bound tests.
+
+The transformed program shares the original's array declarations (and
+index-array data) but has an entirely fresh statement tree; the original
+is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.core.analysis.planner import PlanKind, ProgramPlan, plan_program
+from repro.core.ir.nodes import Loop, Program, Stmt, Work
+from repro.core.ir.validate import validate_program
+from repro.core.ir.visit import transform_stmts
+from repro.core.options import CompilerOptions
+from repro.core.transform.pipeline import apply_dense_plans, indirect_hints, indirect_prolog
+from repro.core.transform.twoversion import wrap_two_version
+
+
+@dataclass
+class PassResult:
+    """What the compiler produced."""
+
+    #: The transformed program, with prefetch/release hints inserted.
+    program: Program
+    #: The planning decisions (for reports, tests, and EXPERIMENTS.md).
+    plan: ProgramPlan
+    #: Options the pass ran with.
+    options: CompilerOptions
+
+    def report(self) -> str:
+        """Human-readable per-reference planning summary."""
+        planned = sum(
+            1 for p in self.plan.plans if p.kind in (PlanKind.DENSE, PlanKind.INDIRECT)
+        )
+        lines = [
+            f"prefetch pass: {self.program.name}",
+            f"  references planned: {planned}/{len(self.plan.plans)}",
+        ]
+        lines.extend("  " + line for line in self.plan.summary().splitlines())
+        return "\n".join(lines)
+
+
+def _rewrite(body: list[Stmt], plan: ProgramPlan, options: CompilerOptions) -> list[Stmt]:
+    def fn(stmt: Stmt) -> list[Stmt]:
+        if isinstance(stmt, Work):
+            plans = plan.indirect_by_work.get(id(stmt))
+            if plans:
+                return indirect_hints(stmt, plans) + [stmt]
+            return [stmt]
+        if isinstance(stmt, Loop):
+            dense = plan.dense_by_loop.get(stmt.loop_id, [])
+            indirect = [
+                p
+                for plans in plan.indirect_by_work.values()
+                for p in plans
+                if p.pipeline_loop.loop_id == stmt.loop_id
+            ]
+            prologs = indirect_prolog(stmt, indirect) if indirect else []
+            if dense:
+                return prologs + apply_dense_plans(stmt, dense, options)
+            return prologs + [stmt]
+        return [stmt]
+
+    return transform_stmts(body, fn)
+
+
+def insert_prefetches(
+    program: Program, options: CompilerOptions | None = None
+) -> PassResult:
+    """Run the full prefetching pass over ``program``."""
+    options = options or CompilerOptions()
+    validate_program(program)
+
+    plan = plan_program(program, options)
+    # Rewrite each top-level statement separately so the two-version
+    # merge can pair original statements with their transformed groups.
+    groups = [_rewrite([stmt], plan, options) for stmt in program.body]
+
+    if options.two_version_loops and plan.inexact_loops:
+        # Re-plan assuming small symbolic trips and merge both versions
+        # under runtime bound tests (Section 4.1.1's proposed fix).
+        small_options = options.scaled(
+            assumed_symbolic_trip=4, two_version_loops=False
+        )
+        small_plan = plan_program(program, small_options)
+        small_groups = [_rewrite([stmt], small_plan, small_options) for stmt in program.body]
+        new_body = wrap_two_version(
+            program.body,
+            groups,
+            small_groups,
+            plan.inexact_loops,
+            options,
+            top_level_params=set(program.params),
+        )
+    else:
+        new_body = [stmt for group in groups for stmt in group]
+
+    transformed = Program(
+        f"{program.name}_pf",
+        program.arrays,
+        new_body,
+        params=dict(program.params),
+        compile_time_params=dict(program.compile_time_params),
+    )
+    validate_program(transformed)
+    return PassResult(program=transformed, plan=plan, options=options)

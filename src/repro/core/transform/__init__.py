@@ -1,0 +1,13 @@
+"""Program transformations: strip mining, pipelining, releases, two-version."""
+
+from repro.core.transform.pipeline import apply_dense_plans, indirect_hints, indirect_prolog
+from repro.core.transform.stripmine import strip_mine
+from repro.core.transform.subst import subst_expr
+
+__all__ = [
+    "subst_expr",
+    "strip_mine",
+    "apply_dense_plans",
+    "indirect_hints",
+    "indirect_prolog",
+]

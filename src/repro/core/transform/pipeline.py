@@ -1,0 +1,189 @@
+"""Software pipelining of prefetches.
+
+This stage turns the planner's decisions into code (paper Section 2.3):
+
+* **Prolog** -- "we convert the prolog loops from the original algorithm
+  into block prefetches whenever possible": one ``prefetch_block`` per
+  dense plan covering the first ``distance`` strips, sized at runtime by
+  ``min(distance * pages_per_hint, ceil(trip * bytes_per_iter / page))``
+  so a loop that turns out to be tiny only prefetches the data it will
+  actually touch.  (When the bound was unknown at compile time, this
+  runtime clamp is precisely what goes wrong in the paper's APPBT: the
+  clamped prolog misses page crossings mid-nest -- Section 4.1.1.)
+* **Steady state** -- the pipeline loop is strip-mined once per distinct
+  strip length, and each strip level gets a ``prefetch_block`` (or a
+  bundled ``prefetch_release_block``) for the strip ``distance`` strips
+  ahead.
+* **Indirect references** -- a single-page ``prefetch(&a[b[i + d]])`` per
+  iteration, placed immediately before the work statement, with a small
+  prolog loop warming the first ``d`` iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.analysis.planner import RefPlan
+from repro.core.ir.expr import CeilDiv, Const, Expr, MaxExpr, MinExpr, Var, affine_scale, affine_sum
+from repro.core.ir.nodes import AddrOf, Hint, HintKind, Loop, Stmt, Work
+from repro.core.options import CompilerOptions
+from repro.core.transform.release import hint_address, release_address
+from repro.core.transform.stripmine import strip_mine, strip_var
+from repro.core.transform.subst import chain_lowers, subst_expr
+from repro.errors import IRError
+
+
+def _prolog_npages(plan: RefPlan, loop: Loop, options: CompilerOptions) -> Expr:
+    """Runtime-clamped size of the prolog block prefetch, in pages."""
+    full = plan.distance_strips * plan.pages_per_hint
+    span = affine_sum(loop.upper, loop.lower, -1)
+    touched = CeilDiv(
+        affine_scale(span, plan.bytes_per_iter),
+        options.page_size * loop.step,
+    )
+    span_const = span.try_const({})
+    if span_const is not None:
+        # Fully static: fold the min at compile time.
+        pages = min(full, touched.try_const({}) or full)
+        return Const(max(pages, 1))
+    return MinExpr(Const(full), touched)
+
+
+def _prolog_hint(plan: RefPlan, loop: Loop, lowers: Mapping[str, Expr],
+                 options: CompilerOptions) -> Hint:
+    pipeline_var = plan.pipeline_loop.var
+    mapping = {
+        var: subst_expr(expr, {pipeline_var: loop.lower})
+        for var, expr in lowers.items()
+    }
+    mapping[pipeline_var] = loop.lower
+    indices = tuple(
+        subst_expr(ix, mapping, clamp_lookups=True) for ix in plan.ref.indices
+    )
+    return Hint(
+        HintKind.PREFETCH,
+        AddrOf(plan.ref.array, indices),
+        npages=_prolog_npages(plan, loop, options),
+    )
+
+
+def apply_dense_plans(
+    loop: Loop, plans: Sequence[RefPlan], options: CompilerOptions
+) -> list[Stmt]:
+    """Strip-mine ``loop`` and emit prolog + steady-state + epilog code.
+
+    Software pipelining splits the iteration space (Section 2.3): the
+    *steady state* covers ``[lo, hi - max_lookahead)`` -- every steady
+    hint's target is within bounds by construction -- and the *epilog*
+    re-runs the unmodified body for the final iterations, whose pages the
+    steady state already prefetched.
+
+    This split is also where the paper's APPBT pathology lives: when the
+    (assumed-large) trip count is actually tiny, ``hi - max_lookahead``
+    falls below ``lo``, the steady loop never executes, and "the software
+    pipeline never gets started" -- only the runtime-clamped prolog
+    prefetch runs, one late page per entry (Section 4.1.1).
+
+    Returns the replacement statement list.
+    """
+    if not plans:
+        return [loop]
+
+    # Distinct strip lengths, descending; each plan attaches to its level.
+    strips_units = sorted(
+        {plan.strip_iters * loop.step for plan in plans}, reverse=True
+    )
+    level_of = {unit: k for k, unit in enumerate(strips_units)}
+    level_stmts: list[list[Stmt]] = [[] for _ in strips_units]
+    prolog: list[Stmt] = []
+    max_lookahead = 0
+
+    for plan in plans:
+        unit = plan.strip_iters * loop.step
+        level = level_of[unit]
+        level_var = strip_var(loop.var, level)
+        lowers = chain_lowers(plan.inner_lowers)
+        prolog.append(_prolog_hint(plan, loop, lowers, options))
+        lookahead_units = plan.distance_strips * unit
+        max_lookahead = max(max_lookahead, lookahead_units)
+        target = hint_address(plan, level_var, lookahead_units, lowers)
+        if plan.release:
+            level_stmts[level].append(
+                Hint(
+                    HintKind.PREFETCH_RELEASE,
+                    target,
+                    npages=plan.pages_per_hint,
+                    release_target=release_address(plan, level_var, unit, lowers),
+                    release_npages=plan.pages_per_hint,
+                )
+            )
+        else:
+            level_stmts[level].append(
+                Hint(HintKind.PREFETCH, target, npages=plan.pages_per_hint)
+            )
+
+    steady_upper = affine_sum(loop.upper, Const(max_lookahead), -1)
+    steady = Loop(loop.var, loop.lower, steady_upper, loop.body, step=loop.step)
+    epilog = Loop(
+        loop.var,
+        MaxExpr(loop.lower, steady_upper),
+        loop.upper,
+        loop.body,
+        step=loop.step,
+    )
+    return prolog + [strip_mine(steady, strips_units, level_stmts), epilog]
+
+
+def indirect_hints(work: Work, plans: Sequence[RefPlan]) -> list[Stmt]:
+    """Per-iteration single-page prefetches preceding a work statement."""
+    hints: list[Stmt] = []
+    for plan in plans:
+        var = plan.pipeline_loop.var
+        mapping = {var: Var(var) + plan.lookahead_iters * plan.pipeline_loop.step}
+        indices = tuple(
+            subst_expr(ix, mapping, clamp_lookups=True) for ix in plan.ref.indices
+        )
+        hints.append(
+            Hint(HintKind.PREFETCH, AddrOf(plan.ref.array, indices), npages=1)
+        )
+    return hints
+
+
+_prolog_counter = [0]
+
+
+def indirect_prolog(loop: Loop, plans: Sequence[RefPlan]) -> list[Stmt]:
+    """Warm-up loops prefetching the first ``lookahead`` iterations."""
+    out: list[Stmt] = []
+    for plan in plans:
+        if plan.pipeline_loop.loop_id != loop.loop_id:
+            raise IRError("indirect prolog attached to the wrong loop")
+        _prolog_counter[0] += 1
+        pvar = f"{loop.var}__p{_prolog_counter[0]}"
+        lowers = chain_lowers(plan.inner_lowers)
+        mapping = {
+            var: subst_expr(expr, {loop.var: Var(pvar)})
+            for var, expr in lowers.items()
+        }
+        mapping[loop.var] = Var(pvar)
+        indices = tuple(
+            subst_expr(ix, mapping, clamp_lookups=True) for ix in plan.ref.indices
+        )
+        body = [Hint(HintKind.PREFETCH, AddrOf(plan.ref.array, indices), npages=1)]
+        out.append(
+            Loop(
+                pvar,
+                loop.lower,
+                MinExpr(
+                    affine_sum(
+                        loop.lower,
+                        Const(plan.lookahead_iters * loop.step),
+                        1,
+                    ),
+                    loop.upper,
+                ),
+                body,
+                step=loop.step,
+            )
+        )
+    return out

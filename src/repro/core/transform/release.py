@@ -1,0 +1,55 @@
+"""Release-address construction.
+
+"For each of these groups ... the compiler identifies the leading
+reference (i.e. the first reference to access the data) as the reference
+to prefetch -- we simply extend this analysis to also identify the
+trailing reference (the last one to touch the data) as the address to
+release." (paper, Section 2.3)
+
+In the strip-mined steady state the strip just completed covers loop-
+variable values ``[level_var - strip, level_var)``, so the release address
+is the reference's address one strip behind, bundled with the prefetch
+into a single ``prefetch_release_block`` call.  Hint addresses that fall
+before the array start (the first strip) resolve to no-ops -- hints are
+non-binding, so no guard is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.analysis.planner import RefPlan
+from repro.core.ir.expr import Expr, Var
+from repro.core.ir.nodes import AddrOf
+from repro.core.transform.subst import subst_expr
+
+
+def hint_address(
+    plan: RefPlan, level_var: str, offset_units: int, lowers: Mapping[str, Expr]
+) -> AddrOf:
+    """Address of the plan's reference at ``level_var + offset_units``.
+
+    Inner-loop variables are pinned to their (chained) lower bounds;
+    indirect lookups inside the subscripts get clamped.
+    """
+    pipeline_var = plan.pipeline_loop.var
+    target: Expr = Var(level_var) + offset_units if offset_units else Var(level_var)
+    # Inner-loop lower bounds may reference the pipeline variable
+    # (triangular nests); resolve them against the lookahead target first,
+    # because substitution is single-pass.
+    mapping = {
+        var: subst_expr(expr, {pipeline_var: target})
+        for var, expr in lowers.items()
+    }
+    mapping[pipeline_var] = target
+    indices = tuple(
+        subst_expr(ix, mapping, clamp_lookups=True) for ix in plan.ref.indices
+    )
+    return AddrOf(plan.ref.array, indices)
+
+
+def release_address(
+    plan: RefPlan, level_var: str, strip_units: int, lowers: Mapping[str, Expr]
+) -> AddrOf:
+    """Address of the strip the pipeline just finished consuming."""
+    return hint_address(plan, level_var, -strip_units, lowers)

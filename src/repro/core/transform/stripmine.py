@@ -1,0 +1,91 @@
+"""Strip mining.
+
+"We use strip mining rather than loop unrolling to isolate these faulting
+iterations, since replicating a loop body 1000 times or more is clearly
+infeasible." (paper, Section 2.3)
+
+Given a loop, a descending list of strip lengths (in loop-variable units),
+and per-level hint statements, :func:`strip_mine` builds the nested
+structure of Figure 2(b)::
+
+    for (i__s0 = lo; i__s0 < hi; i__s0 += S0) {
+      <level-0 hints>
+      for (i__s1 = i__s0; i__s1 < min(i__s0 + S0, hi); i__s1 += S1) {
+        <level-1 hints>
+        for (i = i__s1; i < min(i__s1 + S1, hi); i += step) {
+          <original body>
+        }
+      }
+    }
+
+The innermost loop keeps the original variable name, so the body (and any
+hints already inserted into it) needs no rewriting, and every original
+iteration executes exactly once in the original order -- the property the
+access-trace equivalence tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ir.expr import MinExpr, Var
+from repro.core.ir.nodes import Loop, Stmt
+from repro.errors import IRError
+
+
+def strip_var(var: str, level: int) -> str:
+    """Name of the level-``level`` strip-mined control variable."""
+    return f"{var}__s{level}"
+
+
+def strip_mine(
+    loop: Loop,
+    strip_units: Sequence[int],
+    level_stmts: Sequence[Sequence[Stmt]],
+) -> Loop:
+    """Strip-mine ``loop`` once per entry of ``strip_units``.
+
+    ``strip_units`` must be strictly descending multiples of ``loop.step``
+    expressed in loop-variable units (``strip_iters * step``).
+    ``level_stmts[k]`` is placed at the top of level ``k``'s body -- this
+    is where the pipelining stage puts its per-strip hints.  Returns the
+    outermost rebuilt loop.
+    """
+    if not strip_units:
+        raise IRError("strip_mine needs at least one strip length")
+    if len(level_stmts) != len(strip_units):
+        raise IRError("strip_mine needs one statement list per strip level")
+    last = None
+    for unit in strip_units:
+        if unit <= 0 or unit % loop.step:
+            raise IRError(
+                f"strip length {unit} must be a positive multiple of the "
+                f"loop step {loop.step}"
+            )
+        if last is not None and unit >= last:
+            raise IRError(
+                f"strip lengths must be strictly descending, got {list(strip_units)}"
+            )
+        last = unit
+
+    # Build innermost-out.  The innermost loop keeps the original variable.
+    innermost_ctrl = Var(strip_var(loop.var, len(strip_units) - 1))
+    current = Loop(
+        loop.var,
+        innermost_ctrl,
+        MinExpr(innermost_ctrl + strip_units[-1], loop.upper),
+        loop.body,
+        step=loop.step,
+    )
+
+    for level in range(len(strip_units) - 1, -1, -1):
+        var_k = strip_var(loop.var, level)
+        if level == 0:
+            lower, upper = loop.lower, loop.upper
+        else:
+            outer_ctrl = Var(strip_var(loop.var, level - 1))
+            lower = outer_ctrl
+            upper = MinExpr(outer_ctrl + strip_units[level - 1], loop.upper)
+        body = list(level_stmts[level]) + [current]
+        current = Loop(var_k, lower, upper, body, step=strip_units[level])
+    return current

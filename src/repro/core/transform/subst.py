@@ -1,0 +1,82 @@
+"""Expression substitution for hint-address construction.
+
+When the compiler builds a prefetch address from a data reference, it
+replaces the pipeline-loop variable with a lookahead expression and every
+inner-loop variable with that loop's lower bound (the address the
+reference will have when the strip begins).  Substitution into an
+:class:`ElemOf` lookup also turns on clamping, standing in for the epilog
+guard a real compiler would emit around out-of-range lookaheads.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.ir.expr import (
+    Affine,
+    CeilDiv,
+    Const,
+    ElemOf,
+    Expr,
+    MaxExpr,
+    MinExpr,
+    Var,
+    affine_scale,
+    affine_sum,
+)
+from repro.errors import IRError
+
+
+def subst_expr(
+    expr: Expr, mapping: Mapping[str, Expr], clamp_lookups: bool = False
+) -> Expr:
+    """Replace variables per ``mapping``; unmapped variables stay put."""
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Affine):
+        result: Expr = Const(expr.const)
+        for name, coeff in expr.terms.items():
+            replacement = mapping.get(name, Var(name))
+            result = affine_sum(result, affine_scale(replacement, coeff), 1)
+        return result
+    if isinstance(expr, ElemOf):
+        return ElemOf(
+            expr.array,
+            subst_expr(expr.index, mapping, clamp_lookups),
+            clamp=expr.clamp or clamp_lookups,
+        )
+    if isinstance(expr, MinExpr):
+        return MinExpr(
+            subst_expr(expr.a, mapping, clamp_lookups),
+            subst_expr(expr.b, mapping, clamp_lookups),
+        )
+    if isinstance(expr, MaxExpr):
+        return MaxExpr(
+            subst_expr(expr.a, mapping, clamp_lookups),
+            subst_expr(expr.b, mapping, clamp_lookups),
+        )
+    if isinstance(expr, CeilDiv):
+        return CeilDiv(subst_expr(expr.a, mapping, clamp_lookups), expr.divisor)
+    raise IRError(f"cannot substitute into expression {expr!r}")
+
+
+def chain_lowers(inner_lowers: Mapping[str, Expr]) -> dict[str, Expr]:
+    """Resolve inner-loop lower bounds that reference other inner loops.
+
+    Triangular nests bind an inner loop's lower bound to an outer-inner
+    variable (``for j in range(i, N)``); repeatedly substituting the known
+    lowers flattens such chains so the final mapping only mentions
+    variables in scope at the pipeline loop.
+    """
+    resolved = dict(inner_lowers)
+    for _ in range(len(resolved)):
+        changed = False
+        for var, expr in list(resolved.items()):
+            if expr.free_vars() & resolved.keys():
+                resolved[var] = subst_expr(expr, resolved)
+                changed = True
+        if not changed:
+            break
+    return resolved

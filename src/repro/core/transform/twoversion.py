@@ -1,0 +1,82 @@
+"""Two-version loops: the paper's proposed fix for symbolic bounds.
+
+"This problem can be fixed through a straightforward extension of our
+compiler algorithm whereby we create two versions of the loop, and choose
+the proper one to execute by testing the loop bound at run-time."
+(paper, Section 4.1.1)
+
+The implementation mirrors that description: the pass compiles the program
+twice -- once under the usual "symbolic trips are large" assumption and
+once assuming they are small -- and wraps any top-level statement whose
+planning was inexact in a runtime test of the offending loop's data span::
+
+    if ((N - 0) * 8 > PAGE_SIZE) { <large-trip version> }
+    else                         { <small-trip version> }
+
+Only conditions whose free variables are program parameters can be hoisted
+to the statement's position; inexact loops whose bounds depend on
+enclosing loop variables are left on the default (large-trip) version,
+matching what a simple compiler extension could safely do.
+"""
+
+from __future__ import annotations
+
+from repro.core.analysis.planner import RefPlan
+from repro.core.ir.expr import affine_scale, affine_sum
+from repro.core.ir.nodes import Cmp, If, Loop, Stmt
+from repro.core.ir.visit import walk_loops
+from repro.core.options import CompilerOptions
+
+
+def _loop_ids_under(stmt: Stmt) -> set[int]:
+    if isinstance(stmt, Loop):
+        return {lp.loop_id for lp in walk_loops([stmt])}
+    return set()
+
+
+def guard_condition(plan: RefPlan, options: CompilerOptions) -> Cmp | None:
+    """``trip * bytes_per_iter > page_size`` for the inexact loop.
+
+    Returns None when the condition cannot be evaluated at the top level
+    (bounds referencing enclosing loop variables).
+    """
+    loop = plan.pipeline_loop
+    span = affine_sum(loop.upper, loop.lower, -1)
+    touched = affine_scale(span, max(plan.bytes_per_iter, 1))
+    return Cmp(touched, ">", options.page_size * loop.step)
+
+
+def wrap_two_version(
+    original_top: list[Stmt],
+    large_groups: list[list[Stmt]],
+    small_groups: list[list[Stmt]],
+    inexact_plans: list[RefPlan],
+    options: CompilerOptions,
+    top_level_params: set[str],
+) -> list[Stmt]:
+    """Merge the two compiled versions under runtime bound tests.
+
+    ``large_groups[k]`` and ``small_groups[k]`` are the transformed
+    replacements of ``original_top[k]`` under the large-trip and
+    small-trip assumptions respectively.
+    """
+    inexact_ids = {p.pipeline_loop.loop_id for p in inexact_plans}
+    plan_by_loop = {p.pipeline_loop.loop_id: p for p in inexact_plans}
+    out: list[Stmt] = []
+    for orig, large, small in zip(original_top, large_groups, small_groups):
+        ids = _loop_ids_under(orig) & inexact_ids
+        cond: Cmp | None = None
+        for loop_id in sorted(ids):
+            plan = plan_by_loop[loop_id]
+            candidate = guard_condition(plan, options)
+            if candidate is None:
+                continue
+            free = candidate.lhs.free_vars() | candidate.rhs.free_vars()
+            if free <= top_level_params:
+                cond = candidate
+                break
+        if cond is None:
+            out.extend(large)
+        else:
+            out.append(If(cond, large, small))
+    return out

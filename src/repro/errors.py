@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch everything the library throws
+with a single ``except`` clause while letting genuine bugs (``TypeError``,
+``KeyError``, ...) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid :class:`~repro.config.PlatformConfig` was supplied."""
+
+
+class IRError(ReproError):
+    """An IR construction or validation problem (malformed loop nest)."""
+
+
+class AnalysisError(ReproError):
+    """The compiler analysis encountered a program it cannot reason about."""
+
+
+class ExecutionError(ReproError):
+    """The interpreter encountered an unevaluable expression or bad state."""
+
+
+class AddressError(ExecutionError):
+    """An array reference evaluated to an out-of-segment address."""
+
+
+class MachineError(ReproError):
+    """Inconsistent machine/VM state detected at run time."""

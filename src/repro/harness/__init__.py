@@ -1,0 +1,21 @@
+"""Experiment harness: canonical runs and report rendering for every
+figure and table of the paper's evaluation."""
+
+from repro.harness.experiment import (
+    ComparisonResult,
+    RunResult,
+    compare_app,
+    default_data_pages,
+    run_variant,
+)
+from repro.harness.report import ascii_bars, render_table
+
+__all__ = [
+    "RunResult",
+    "ComparisonResult",
+    "run_variant",
+    "compare_app",
+    "default_data_pages",
+    "ascii_bars",
+    "render_table",
+]

@@ -1,0 +1,147 @@
+"""Running one application under the paper's experimental variants.
+
+The paper compares, per application:
+
+* **O** -- the original program on plain paged virtual memory;
+* **P** -- the compiled prefetching program with the run-time layer;
+* **P-nofilter** -- prefetching with the run-time layer removed
+  (Figure 4(c));
+* warm/cold starts (Figure 6) and different problem sizes (Figures 7, 8).
+
+``compare_app`` builds the program once, compiles it once, and executes
+the requested variants on fresh machines, so O and P see identical
+workloads (including identical index-array data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppSpec
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import PassResult, insert_prefetches
+from repro.interp.executor import Executor
+from repro.machine.machine import Machine
+from repro.sim.stats import RunStats
+
+
+def default_data_pages(platform: PlatformConfig, memory_multiple: float = 2.0) -> int:
+    """Major-data footprint for an out-of-core run (~2x available memory)."""
+    return max(8, int(platform.available_frames * memory_multiple))
+
+
+@dataclass
+class RunResult:
+    """One executed variant."""
+
+    app: str
+    variant: str  # "O", "P", "P-nofilter"
+    stats: RunStats
+    warm: bool = False
+    data_pages: int = 0
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.stats.elapsed_us
+
+
+@dataclass
+class ComparisonResult:
+    """O and P (and friends) for one application at one problem size."""
+
+    app: str
+    data_pages: int
+    original: RunResult
+    prefetch: RunResult
+    extras: dict[str, RunResult] = field(default_factory=dict)
+    pass_result: PassResult | None = None
+
+    @property
+    def speedup(self) -> float:
+        return self.original.elapsed_us / self.prefetch.elapsed_us
+
+    @property
+    def stall_eliminated(self) -> float:
+        """Fraction of the original I/O stall removed by prefetching."""
+        o_stall = self.original.stats.times.idle
+        if o_stall <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.prefetch.stats.times.idle / o_stall)
+
+
+def run_variant(
+    program,
+    platform: PlatformConfig,
+    prefetching: bool,
+    runtime_filter: bool = True,
+    warm: bool = False,
+    adaptive: bool = False,
+    os_readahead: bool = False,
+) -> RunStats:
+    """Execute one program variant on a fresh machine."""
+    machine = Machine(
+        platform,
+        prefetching=prefetching,
+        runtime_filter=runtime_filter,
+        adaptive_prefetch=adaptive,
+        os_readahead=os_readahead,
+    )
+    executor = Executor(machine, warm_start=warm)
+    stats = executor.run(program)
+    assert stats is not None
+    return stats
+
+
+def compare_app(
+    spec: AppSpec,
+    platform: PlatformConfig,
+    data_pages: int | None = None,
+    seed: int = 1,
+    warm: bool = False,
+    options: CompilerOptions | None = None,
+    include_nofilter: bool = False,
+    include_adaptive: bool = False,
+    include_readahead: bool = False,
+) -> ComparisonResult:
+    """Run O and P (optionally P-nofilter, P-adaptive, O-readahead)."""
+    if data_pages is None:
+        data_pages = default_data_pages(platform, spec.default_memory_multiple)
+    program = spec.make(data_pages, seed=seed)
+    options = options or CompilerOptions.from_platform(platform)
+    compiled = insert_prefetches(program, options)
+
+    o_stats = run_variant(program, platform, prefetching=False, warm=warm)
+    p_stats = run_variant(compiled.program, platform, prefetching=True, warm=warm)
+    result = ComparisonResult(
+        app=spec.name,
+        data_pages=data_pages,
+        original=RunResult(spec.name, "O", o_stats, warm, data_pages),
+        prefetch=RunResult(spec.name, "P", p_stats, warm, data_pages),
+        pass_result=compiled,
+    )
+    if include_nofilter:
+        nf_stats = run_variant(
+            compiled.program, platform, prefetching=True,
+            runtime_filter=False, warm=warm,
+        )
+        result.extras["P-nofilter"] = RunResult(
+            spec.name, "P-nofilter", nf_stats, warm, data_pages
+        )
+    if include_adaptive:
+        ad_stats = run_variant(
+            compiled.program, platform, prefetching=True,
+            warm=warm, adaptive=True,
+        )
+        result.extras["P-adaptive"] = RunResult(
+            spec.name, "P-adaptive", ad_stats, warm, data_pages
+        )
+    if include_readahead:
+        ra_stats = run_variant(
+            program, platform, prefetching=False, warm=warm,
+            os_readahead=True,
+        )
+        result.extras["O-readahead"] = RunResult(
+            spec.name, "O-readahead", ra_stats, warm, data_pages
+        )
+    return result

@@ -1,0 +1,221 @@
+"""The IR interpreter.
+
+Walks a program's statement tree against a :class:`Machine`:
+
+* work statements charge compute time and perform their accesses;
+* hints go through the run-time layer (prefetch filtering) or the OS
+  (releases), clamped to the target array's segment -- an address outside
+  the array is a silent no-op, preserving the non-binding semantics;
+* leaf loops (flat bodies of work + single-page hints) take the
+  vectorized path in :mod:`repro.interp.lower`.
+
+The same interpreter runs both the original and the transformed program:
+the original simply contains no hints.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ir.nodes import Hint, HintKind, If, Loop, Program, Stmt, Work
+from repro.errors import AddressError, ExecutionError
+from repro.interp.lower import LeafRecipe, analyze_leaf, lower_leaf
+from repro.machine.machine import Machine
+from repro.sim.stats import RunStats
+
+
+class Executor:
+    """Runs one program on one machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        warm_start: bool = False,
+        vectorize: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.warm_start = warm_start
+        #: Disable the numpy fast path (differential testing: the scalar
+        #: and vectorized executions must produce identical statistics).
+        self.vectorize = vectorize
+        self._segments: dict[str, tuple[int, int]] = {}
+        self._strides: dict[str, tuple[int, ...]] = {}
+        self._leaf_cache: dict[int, LeafRecipe | None] = {}
+        #: Hints whose addresses fell outside their array (dropped no-ops).
+        self.out_of_range_hints = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _bind_arrays(self, program: Program) -> None:
+        params = program.params
+        for arr in program.arrays:
+            seg = self.machine.map_segment(arr.name, arr.nbytes(params))
+            arr.base = seg.base
+            self._segments[arr.name] = (seg.base, arr.nbytes(params))
+            self._strides[arr.name] = arr.strides_elems(params)
+            if self.warm_start:
+                self.machine.warm_load_segment(seg)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, program: Program, finish: bool = True) -> RunStats | None:
+        """Execute ``program``; returns its stats when ``finish`` is set."""
+        self._bind_arrays(program)
+        env = dict(program.params)
+        self._exec_body(program.body, env)
+        if finish:
+            return self.machine.finish()
+        return None
+
+    def _exec_body(self, body: list[Stmt], env: dict) -> None:
+        machine = self.machine
+        for stmt in body:
+            if isinstance(stmt, Work):
+                if stmt.cost_us:
+                    machine.compute(stmt.cost_us)
+                for ref in stmt.refs:
+                    vpage = self._ref_page(ref, env)
+                    machine.access(vpage, ref.is_write)
+            elif isinstance(stmt, Loop):
+                self._exec_loop(stmt, env)
+            elif isinstance(stmt, Hint):
+                self._exec_hint(stmt, env)
+            elif isinstance(stmt, If):
+                branch = stmt.then_body if stmt.cond.eval(env) else stmt.else_body
+                self._exec_body(branch, env)
+            else:
+                raise ExecutionError(f"cannot execute statement {stmt!r}")
+
+    def _exec_loop(self, loop: Loop, env: dict) -> None:
+        lower = loop.lower.eval(env)
+        upper = loop.upper.eval(env)
+        if upper <= lower:
+            return
+        if self.vectorize:
+            recipe = self._leaf_cache.get(loop.loop_id, False)
+            if recipe is False:  # not analyzed yet
+                recipe = analyze_leaf(loop)
+                self._leaf_cache[loop.loop_id] = recipe
+        else:
+            recipe = None
+        if recipe is not None:
+            if not recipe.templates:
+                # Pure compute: charge the whole loop in one step.
+                iters = -(-(upper - lower) // loop.step)
+                self.machine.compute(iters * recipe.iter_cost)
+                return
+            values = np.arange(lower, upper, loop.step, dtype=np.int64)
+            kinds, pages, costs, tail_cost = lower_leaf(
+                recipe,
+                loop.var,
+                values,
+                env,
+                self.machine.config.page_size,
+                self._segments,
+                self._strides,
+            )
+            self.machine.run_chunk(kinds, pages, costs)
+            if tail_cost:
+                self.machine.compute(tail_cost)
+            return
+        for value in range(lower, upper, loop.step):
+            env[loop.var] = value
+            self._exec_body(loop.body, env)
+        del env[loop.var]
+
+    # ------------------------------------------------------------------
+    # Addresses and hints
+    # ------------------------------------------------------------------
+
+    def _addr(self, array, indices, env: dict) -> int:
+        strides = self._strides[array.name]
+        linear = 0
+        for ix, stride in zip(indices, strides):
+            linear += ix.eval(env) * stride
+        base = array.base
+        if base is None:
+            raise ExecutionError(f"array {array.name!r} is not bound to a segment")
+        return base + linear * array.elem_size
+
+    def _ref_page(self, ref, env: dict) -> int:
+        addr = self._addr(ref.array, ref.indices, env)
+        base, nbytes = self._segments[ref.array.name]
+        if not base <= addr < base + nbytes:
+            raise AddressError(
+                f"reference {ref!r} evaluates to address {addr} outside "
+                f"segment [{base}, {base + nbytes})"
+            )
+        return addr // self.machine.config.page_size
+
+    def _hint_pages(self, array, indices, npages: int, env: dict) -> tuple[int, int]:
+        """(start_vpage, npages) clamped to the array's segment; (0,0) if none."""
+        addr = self._addr(array, indices, env)
+        base, nbytes = self._segments[array.name]
+        page_size = self.machine.config.page_size
+        first_page = base // page_size
+        last_page = (base + nbytes - 1) // page_size
+        start = addr // page_size
+        end = start + npages - 1
+        if start < first_page:
+            start = first_page
+        if end > last_page:
+            end = last_page
+        if end < start:
+            return 0, 0
+        return start, end - start + 1
+
+    def _exec_hint(self, hint: Hint, env: dict) -> None:
+        machine = self.machine
+        if machine.runtime is None:
+            return  # non-prefetching run: hints are dead code
+        pf_start = pf_n = 0
+        if hint.target is not None:
+            npages = max(0, hint.npages.eval(env))
+            pf_start, pf_n = self._hint_pages(
+                hint.target.array, hint.target.indices, npages, env
+            )
+        rel_pages: list[int] = []
+        if hint.release_target is not None:
+            rn = max(0, hint.release_npages.eval(env))
+            r_start, r_n = self._hint_pages(
+                hint.release_target.array, hint.release_target.indices, rn, env
+            )
+            rel_pages = list(range(r_start, r_start + r_n))
+
+        if hint.kind is HintKind.PREFETCH:
+            if pf_n:
+                machine.prefetch(pf_start, pf_n)
+            else:
+                self.out_of_range_hints += 1
+        elif hint.kind is HintKind.RELEASE:
+            if rel_pages:
+                machine.release(rel_pages)
+            else:
+                self.out_of_range_hints += 1
+        else:  # PREFETCH_RELEASE
+            if pf_n and rel_pages:
+                machine.prefetch_release(pf_start, pf_n, rel_pages)
+            elif pf_n:
+                machine.prefetch(pf_start, pf_n)
+            elif rel_pages:
+                machine.release(rel_pages)
+            else:
+                self.out_of_range_hints += 1
+
+
+def run_program(
+    program: Program,
+    machine: Machine | None = None,
+    warm_start: bool = False,
+) -> RunStats:
+    """Convenience: execute ``program`` on a fresh (or given) machine."""
+    if machine is None:
+        machine = Machine()
+    executor = Executor(machine, warm_start=warm_start)
+    stats = executor.run(program)
+    assert stats is not None
+    return stats

@@ -1,0 +1,69 @@
+"""Independent scalar access tracer.
+
+Used as the oracle for the package's central correctness property: the
+prefetching transformation must not change the program's data accesses in
+any way (prefetch and release are *non-binding hints* -- paper Section
+2.2.1 and Figure 1).  The tracer deliberately shares no code with the
+vectorized execution path: it walks the tree one iteration at a time and
+records every work reference as ``(array_name, linear_index, is_write)``.
+
+Tests assert ``access_trace(original) == access_trace(transformed)`` and
+also cross-check the tracer against the vectorized executor's fault
+accounting on small programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.ir.nodes import Hint, If, Loop, Program, Stmt, Work
+from repro.errors import ExecutionError
+
+TraceEntry = tuple[str, int, bool]
+
+
+def _linear_index(ref, env: dict, strides: dict[str, tuple[int, ...]]) -> int:
+    total = 0
+    for ix, stride in zip(ref.indices, strides[ref.array.name]):
+        total += ix.eval(env) * stride
+    return total
+
+
+def _walk(body: list[Stmt], env: dict, strides: dict) -> Iterator[TraceEntry]:
+    for stmt in body:
+        if isinstance(stmt, Work):
+            for ref in stmt.refs:
+                yield (ref.array.name, _linear_index(ref, env, strides), ref.is_write)
+        elif isinstance(stmt, Loop):
+            lower = stmt.lower.eval(env)
+            upper = stmt.upper.eval(env)
+            for value in range(lower, upper, stmt.step):
+                env[stmt.var] = value
+                yield from _walk(stmt.body, env, strides)
+            env.pop(stmt.var, None)
+        elif isinstance(stmt, Hint):
+            continue  # hints touch nothing: that is the property under test
+        elif isinstance(stmt, If):
+            branch = stmt.then_body if stmt.cond.eval(env) else stmt.else_body
+            yield from _walk(branch, env, strides)
+        else:
+            raise ExecutionError(f"cannot trace statement {stmt!r}")
+
+
+def access_trace(program: Program, limit: int | None = None) -> list[TraceEntry]:
+    """Full ordered list of work accesses performed by ``program``.
+
+    ``limit`` guards against tracing huge programs by accident.
+    """
+    strides = {
+        arr.name: arr.strides_elems(program.params) for arr in program.arrays
+    }
+    out: list[TraceEntry] = []
+    for entry in _walk(list(program.body), dict(program.params), strides):
+        out.append(entry)
+        if limit is not None and len(out) > limit:
+            raise ExecutionError(
+                f"access trace exceeded the {limit}-entry limit; "
+                "use a smaller program for trace-based tests"
+            )
+    return out

@@ -1,0 +1,6 @@
+"""The simulated machine: CPU + VM + run-time layer + disk array."""
+
+from repro.machine.events import EventKind
+from repro.machine.machine import Machine
+
+__all__ = ["Machine", "EventKind"]

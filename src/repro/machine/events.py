@@ -1,0 +1,30 @@
+"""Event-kind encoding for the machine's chunk protocol.
+
+The interpreter lowers innermost loops into *chunks*: parallel lists of
+(kind, page, compute-cost) triples that the machine replays in one tight
+loop.  Kinds are plain ints (not enum members) in the hot path; the
+:class:`EventKind` enum is the readable face of the same values.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EventKind(enum.IntEnum):
+    """What one chunk event does."""
+
+    #: Demand read of a page.
+    READ = 0
+    #: Demand write of a page (read-modify-write collapses to this).
+    WRITE = 1
+    #: Single-page compiler-inserted prefetch (indirect references).
+    PREFETCH = 2
+    #: Single-page release.
+    RELEASE = 3
+
+
+READ = int(EventKind.READ)
+WRITE = int(EventKind.WRITE)
+PREFETCH = int(EventKind.PREFETCH)
+RELEASE = int(EventKind.RELEASE)

@@ -1,0 +1,218 @@
+"""The simulated machine.
+
+A :class:`Machine` owns one application run: the simulated clock, the
+address space, the memory manager, the run-time layer (if prefetching), and
+the disk array.  The interpreter drives it through a small API --
+``compute``, ``access``, ``prefetch``/``release`` hints, and the bulk
+``run_chunk`` path that replays vectorized event chunks.
+
+``run_chunk`` is the hot loop of the whole simulator, so it inlines the
+resident-page fast path and the bit-vector filter check, accumulating
+compute time and statistics locally and only falling back to the full
+memory-manager / run-time-layer paths when something slow actually happens
+(a fault, an issued prefetch, a release).
+"""
+
+from __future__ import annotations
+
+from repro.config import PlatformConfig
+from repro.errors import MachineError
+from repro.runtime.layer import RuntimeLayer
+from repro.sim.clock import Clock, TimeCategory
+from repro.sim.stats import RunStats, TimeBreakdown
+from repro.storage.array_ctl import DiskArray
+from repro.vm.manager import MemoryManager
+from repro.vm.page import PageState
+from repro.vm.page_table import AddressSpace, Segment
+
+
+class Machine:
+    """One simulated run of one program on the configured platform."""
+
+    def __init__(
+        self,
+        config: PlatformConfig | None = None,
+        prefetching: bool = True,
+        runtime_filter: bool = True,
+        adaptive_prefetch: bool = False,
+        os_readahead: bool = False,
+        binding_prefetch: bool = False,
+    ) -> None:
+        self.config = config or PlatformConfig()
+        self.clock = Clock()
+        self.stats = RunStats()
+        self.address_space = AddressSpace(self.config.page_size)
+        self.disks = DiskArray(self.config)
+        self.manager = MemoryManager(
+            self.config, self.clock, self.disks, self.stats,
+            readahead=os_readahead,
+            binding=binding_prefetch,
+        )
+        self.prefetching = prefetching
+        self.runtime: RuntimeLayer | None = None
+        if prefetching:
+            self.runtime = RuntimeLayer(
+                self.config, self.clock, self.manager, self.stats,
+                filter_enabled=runtime_filter,
+                adaptive=adaptive_prefetch,
+            )
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Address space setup
+    # ------------------------------------------------------------------
+
+    def map_segment(self, name: str, nbytes: int) -> Segment:
+        """Map one out-of-core array and register its backing extent."""
+        seg = self.address_space.map_segment(name, nbytes)
+        base_vpage = seg.base // self.config.page_size
+        self.disks.register_segment(name, base_vpage, seg.npages)
+        return seg
+
+    def warm_load_segment(self, seg: Segment) -> None:
+        """Preload a whole segment (warm-started runs, Figure 6)."""
+        base_vpage = seg.base // self.config.page_size
+        self.manager.warm_load(list(range(base_vpage, base_vpage + seg.npages)))
+
+    # ------------------------------------------------------------------
+    # Scalar execution API (used by the interpreter's slow path)
+    # ------------------------------------------------------------------
+
+    def compute(self, duration_us: float) -> None:
+        """Spend CPU time on useful application work."""
+        self.clock.advance(duration_us, TimeCategory.USER_COMPUTE)
+
+    def access(self, vpage: int, is_write: bool) -> None:
+        """Perform one demand memory access."""
+        self.manager.access(vpage, is_write)
+
+    def prefetch(self, start_vpage: int, npages: int = 1) -> None:
+        """Compiler-inserted prefetch hint (ignored if not prefetching)."""
+        if self.runtime is not None:
+            self.runtime.prefetch(start_vpage, npages)
+
+    def release(self, vpages: list[int]) -> None:
+        """Compiler-inserted release hint (ignored if not prefetching)."""
+        if self.runtime is not None:
+            self.runtime.release(vpages)
+
+    def prefetch_release(
+        self, start_vpage: int, npages: int, release_vpages: list[int]
+    ) -> None:
+        """Bundled prefetch+release hint (ignored if not prefetching)."""
+        if self.runtime is not None:
+            self.runtime.prefetch_release(start_vpage, npages, release_vpages)
+
+    # ------------------------------------------------------------------
+    # Bulk execution (the hot loop)
+    # ------------------------------------------------------------------
+
+    def run_chunk(self, kinds: list[int], pages: list[int], costs: list[float]) -> None:
+        """Replay one lowered event chunk.
+
+        ``kinds``/``pages``/``costs`` are parallel lists; ``costs[i]`` is
+        the user compute time to charge *before* event ``i``.  READ/WRITE
+        events with a resident page and PREFETCH events dropped by the
+        filter are handled inline; everything else flushes the locally
+        accumulated time and goes through the full path.
+        """
+        if not (len(kinds) == len(pages) == len(costs)):
+            raise MachineError("run_chunk requires parallel lists of equal length")
+        clock = self.clock
+        manager = self.manager
+        page_map = manager.pages
+        resident = PageState.RESIDENT
+        runtime = self.runtime
+        # The inline filter fast path is only valid for the plain filter;
+        # the adaptive state machine must see every request, so adaptive
+        # runs route single-page prefetches through the layer.
+        filter_on = (
+            runtime is not None and runtime.filter_enabled and not runtime.adaptive
+        )
+        bits = runtime.bitvector.raw if filter_on else None
+        granularity = runtime.bitvector.granularity if filter_on else 1
+        addr_gen_cost = self.config.cost.addr_gen_us
+        filter_cost = self.config.cost.filter_check_us + addr_gen_cost
+
+        pending_compute = 0.0
+        pending_overhead = 0.0
+        hits = 0
+        filtered = 0
+        inserted = 0
+        # Binding instrumentation must observe every access.
+        fast_access_ok = not manager.binding
+
+        def flush_time() -> None:
+            nonlocal pending_compute, pending_overhead
+            if pending_compute:
+                clock.advance(pending_compute, TimeCategory.USER_COMPUTE)
+                pending_compute = 0.0
+            if pending_overhead:
+                clock.advance(pending_overhead, TimeCategory.USER_OVERHEAD)
+                pending_overhead = 0.0
+
+        for i in range(len(kinds)):
+            pending_compute += costs[i]
+            kind = kinds[i]
+            vpage = pages[i]
+            if kind <= 1:  # READ or WRITE
+                page = page_map.get(vpage)
+                if (
+                    fast_access_ok
+                    and page is not None
+                    and page.state == resident
+                    and (page.used_since_arrival or not page.via_prefetch)
+                ):
+                    page.ref_bit = True
+                    if kind == 1:
+                        page.dirty = True
+                        page.version += 1
+                    hits += 1
+                    continue
+                flush_time()
+                manager.access(vpage, kind == 1)
+            elif kind == 2:  # single-page PREFETCH
+                if runtime is None:
+                    continue
+                if bits is not None:
+                    inserted += 1
+                    pending_overhead += filter_cost
+                    index = vpage // granularity
+                    if index < len(bits) and bits[index]:
+                        filtered += 1
+                        continue
+                    flush_time()
+                    # Already counted and charged locally: issue directly.
+                    manager.prefetch_call(vpage, 1)
+                else:
+                    # Filter disabled or adaptive: the layer handles
+                    # counting, charging, and the suppression state.
+                    flush_time()
+                    runtime.prefetch(vpage, 1)
+            elif kind == 3:  # single-page RELEASE
+                if runtime is None:
+                    continue
+                flush_time()
+                runtime.release([vpage])
+            else:
+                raise MachineError(f"unknown event kind {kind}")
+
+        flush_time()
+        self.stats.faults.hits += hits
+        self.stats.prefetch.filtered += filtered
+        self.stats.prefetch.compiler_inserted += inserted
+
+    # ------------------------------------------------------------------
+    # Run boundary
+    # ------------------------------------------------------------------
+
+    def finish(self) -> RunStats:
+        """Flush dirty pages, close accounting, and return the run's stats."""
+        if self._finished:
+            raise MachineError("Machine.finish() called twice")
+        self._finished = True
+        self.manager.flush_dirty()
+        self.stats.times = TimeBreakdown.from_clock(self.clock)
+        self.stats.elapsed_us = self.clock.now
+        self.stats.disk = self.disks.snapshot_stats()
+        return self.stats

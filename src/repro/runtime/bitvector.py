@@ -1,0 +1,64 @@
+"""The shared residency bit vector.
+
+"The shared page is used as a bit vector with each bit representing one or
+more contiguous pages of the application's virtual memory space (a set bit
+indicates that the corresponding page is in memory).  The granularity of
+the bit vector is determined by the run-time layer at program start-up.
+Bits are set by the run-time layer when a prefetch request is issued, and
+by the OS when non-prefetched page faults occur.  The OS also clears bits
+when release requests are issued and when the memory manager reclaims
+pages." (paper, Section 2.4)
+
+At granularity > 1 the vector is deliberately *approximate*, exactly as a
+real shared page would be: evicting one page of a group clears the whole
+group's bit, so the filter errs toward issuing (correct but slower), while
+a resident sibling can mask a non-resident page, in which case the dropped
+prefetch simply shows up later as an ordinary fault.  Hints are
+non-binding, so neither error affects correctness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ResidencyBitVector:
+    """Auto-growing bit vector over virtual pages, ``granularity`` pages/bit."""
+
+    __slots__ = ("granularity", "_bits")
+
+    def __init__(self, granularity: int = 1) -> None:
+        if granularity <= 0:
+            raise ConfigError(f"bit-vector granularity must be positive, got {granularity}")
+        self.granularity = granularity
+        self._bits = bytearray(1024)
+
+    def _ensure(self, index: int) -> None:
+        if index >= len(self._bits):
+            grown = bytearray(max(index + 1, 2 * len(self._bits)))
+            grown[: len(self._bits)] = self._bits
+            self._bits = grown
+
+    def set(self, vpage: int) -> None:
+        """The OS or run-time layer believes ``vpage`` is (becoming) resident."""
+        index = vpage // self.granularity
+        self._ensure(index)
+        self._bits[index] = 1
+
+    def clear(self, vpage: int) -> None:
+        """``vpage`` left memory (released or reclaimed)."""
+        index = vpage // self.granularity
+        if index < len(self._bits):
+            self._bits[index] = 0
+
+    def test(self, vpage: int) -> bool:
+        """Is ``vpage`` believed resident?"""
+        index = vpage // self.granularity
+        if index < len(self._bits):
+            return bool(self._bits[index])
+        return False
+
+    # Exposed for the machine's inlined fast path.
+    @property
+    def raw(self) -> bytearray:
+        return self._bits

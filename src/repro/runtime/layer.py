@@ -1,0 +1,177 @@
+"""The run-time layer proper: filtering compiler-inserted prefetches.
+
+Every prefetch the compiler inserted reaches this layer first.  The layer
+checks the shared bit vector and drops requests whose pages are already
+believed resident -- at roughly 1% of the cost of a system call.  For block
+requests it checks each page "until one is found that is not in memory,
+then pass[es] all remaining pages to the OS.  In this way, at most one
+system call is required for a block prefetch." (paper, Section 2.4)
+
+The layer can be constructed disabled (``filter_enabled=False``) to
+reproduce Figure 4(c), where every compiler-inserted prefetch goes straight
+to the OS and half the applications become slower than not prefetching at
+all.
+
+**Adaptive suppression** (``adaptive=True``) implements the paper's
+Section 4.3.1 future-work proposal: "we can generate code that dynamically
+adapts its behavior ... suppressing prefetches (after the cold faults have
+been prefetched in) if the data fits within memory".  When a long run of
+consecutive prefetch requests is entirely filtered (the data evidently
+fits), the layer stops even checking the bit vector for a span of
+requests, sampling occasionally so it re-engages the moment residency
+changes.  Suppression only skips *hint* work; hints are non-binding, so
+at worst a suppressed prefetch becomes an ordinary fault.
+"""
+
+from __future__ import annotations
+
+from repro.config import PlatformConfig
+from repro.runtime.bitvector import ResidencyBitVector
+from repro.sim.clock import Clock, TimeCategory
+from repro.sim.stats import RunStats
+from repro.vm.manager import MemoryManager
+
+#: Consecutive fully-filtered requests before suppression engages.
+SUPPRESS_AFTER = 1024
+#: Requests skipped per suppression span (before fully re-evaluating).
+SUPPRESS_SPAN = 8192
+#: Within a span, every Nth request is still checked as a sample.
+SAMPLE_EVERY = 64
+
+
+class RuntimeLayer:
+    """User-level prefetch filter in front of the OS hint interface."""
+
+    def __init__(
+        self,
+        config: PlatformConfig,
+        clock: Clock,
+        manager: MemoryManager,
+        stats: RunStats,
+        filter_enabled: bool = True,
+        adaptive: bool = False,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.manager = manager
+        self.stats = stats
+        self.filter_enabled = filter_enabled
+        #: Section 4.3.1 extension: suppress prefetching while everything
+        #: is resident.
+        self.adaptive = adaptive
+        self._filtered_streak = 0
+        self._suppressed_remaining = 0
+        self.bitvector = ResidencyBitVector(config.bitvector_granularity)
+        # Register with the OS: wire the shared page into the memory
+        # manager so the OS side sets bits on faults and clears them on
+        # release / reclaim (paper: "Applications that prefetch are
+        # required to register with the OS to initiate sharing").
+        manager.bitvector = self.bitvector
+
+    # ------------------------------------------------------------------
+    # Adaptive suppression (Section 4.3.1 extension)
+    # ------------------------------------------------------------------
+
+    def _suppression_active(self, npages: int) -> bool:
+        """Consume one request from the suppression state machine."""
+        if not self.adaptive:
+            return False
+        if self._suppressed_remaining > 0:
+            self._suppressed_remaining -= 1
+            if self._suppressed_remaining % SAMPLE_EVERY == 0:
+                return False  # sampled request: go through the filter
+            self.stats.prefetch.suppressed += npages
+            return True
+        return False
+
+    def _note_outcome(self, fully_filtered: bool) -> None:
+        if not self.adaptive:
+            return
+        if fully_filtered:
+            self._filtered_streak += 1
+            if self._filtered_streak >= SUPPRESS_AFTER:
+                self._suppressed_remaining = SUPPRESS_SPAN
+                self._filtered_streak = 0
+        else:
+            # Residency changed: re-engage full filtering immediately.
+            self._filtered_streak = 0
+            self._suppressed_remaining = 0
+
+    # ------------------------------------------------------------------
+    # Prefetch path
+    # ------------------------------------------------------------------
+
+    def prefetch(self, start_vpage: int, npages: int = 1) -> None:
+        """Handle one compiler-inserted prefetch request."""
+        clock = self.clock
+        cost = self.config.cost
+        pstats = self.stats.prefetch
+        pstats.compiler_inserted += npages
+        clock.advance(cost.addr_gen_us, TimeCategory.USER_OVERHEAD)
+        if not self.filter_enabled:
+            self.manager.prefetch_call(start_vpage, npages)
+            return
+        if self._suppression_active(npages):
+            return
+        test = self.bitvector.test
+        checked = 0
+        first_missing = -1
+        for vpage in range(start_vpage, start_vpage + npages):
+            checked += 1
+            if not test(vpage):
+                first_missing = vpage
+                break
+        clock.advance(cost.filter_check_us * checked, TimeCategory.USER_OVERHEAD)
+        if first_missing < 0:
+            pstats.filtered += npages
+            self._note_outcome(fully_filtered=True)
+            return
+        self._note_outcome(fully_filtered=False)
+        leading_resident = first_missing - start_vpage
+        pstats.filtered += leading_resident
+        self.manager.prefetch_call(first_missing, npages - leading_resident)
+
+    def prefetch_release(
+        self, start_vpage: int, npages: int, release_vpages: list[int]
+    ) -> None:
+        """Handle a bundled prefetch+release request (Figure 2(b)).
+
+        The release part must always reach the OS (only the OS can move
+        pages to the free list), but if the prefetch part is entirely
+        filtered the call degenerates to a plain release.
+        """
+        clock = self.clock
+        cost = self.config.cost
+        pstats = self.stats.prefetch
+        pstats.compiler_inserted += npages
+        clock.advance(cost.addr_gen_us, TimeCategory.USER_OVERHEAD)
+        first_missing = -1
+        if self.filter_enabled:
+            test = self.bitvector.test
+            checked = 0
+            for vpage in range(start_vpage, start_vpage + npages):
+                checked += 1
+                if not test(vpage):
+                    first_missing = vpage
+                    break
+            clock.advance(cost.filter_check_us * checked, TimeCategory.USER_OVERHEAD)
+        else:
+            first_missing = start_vpage
+        if first_missing < 0:
+            pstats.filtered += npages
+            self.manager.release_call(release_vpages)
+            return
+        leading_resident = first_missing - start_vpage
+        pstats.filtered += leading_resident
+        self.manager.prefetch_release_call(
+            first_missing, npages - leading_resident, release_vpages
+        )
+
+    # ------------------------------------------------------------------
+    # Release path
+    # ------------------------------------------------------------------
+
+    def release(self, vpages: list[int]) -> None:
+        """Handle one compiler-inserted release request."""
+        self.clock.advance(self.config.cost.addr_gen_us, TimeCategory.USER_OVERHEAD)
+        self.manager.release_call(vpages)

@@ -1,0 +1,24 @@
+"""Simulation primitives: the simulated clock and statistics containers."""
+
+from repro.sim.clock import Clock, TimeCategory
+from repro.sim.stats import (
+    DiskStats,
+    FaultStats,
+    MemoryStats,
+    PrefetchStats,
+    ReleaseStats,
+    RunStats,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "Clock",
+    "TimeCategory",
+    "TimeBreakdown",
+    "FaultStats",
+    "PrefetchStats",
+    "ReleaseStats",
+    "DiskStats",
+    "MemoryStats",
+    "RunStats",
+]

@@ -1,0 +1,22 @@
+"""Disk subsystem substrate.
+
+The paper's platform stripes each file's pages round-robin across seven
+disks, with an extent-based per-disk layout so that contiguous file blocks
+occupy contiguous disk blocks (Section 3.1).  The disk scheduler treats
+prefetches the same as ordinary reads.  This package models that subsystem:
+
+* :mod:`repro.storage.disk` -- a single disk with seek/rotation/transfer
+  timing and sequential-access detection.
+* :mod:`repro.storage.striping` -- the round-robin page-to-disk map.
+* :mod:`repro.storage.extent` -- extent-based linear-page-to-disk-block
+  layout.
+* :mod:`repro.storage.array_ctl` -- the :class:`DiskArray` controller that
+  the VM issues reads and writes against.
+"""
+
+from repro.storage.array_ctl import DiskArray, IOKind
+from repro.storage.disk import Disk
+from repro.storage.extent import ExtentLayout
+from repro.storage.striping import RoundRobinStripe
+
+__all__ = ["Disk", "RoundRobinStripe", "ExtentLayout", "DiskArray", "IOKind"]

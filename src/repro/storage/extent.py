@@ -1,0 +1,98 @@
+"""Extent-based on-disk layout.
+
+"An extent-based policy is used to store the file on each of the disks,
+where contiguous file blocks are stored to contiguous blocks on the disk to
+avoid seek operations for sequential file accesses." (paper, Section 3.1)
+
+The application's backing store is one logical file per virtual-memory
+segment (one segment per out-of-core array).  :class:`ExtentLayout`
+registers segments and maps a virtual page to its (disk, block) location:
+within a segment, pages are striped round-robin and per-disk blocks are
+contiguous; distinct segments occupy disjoint block ranges, so alternating
+between two arrays forces seeks -- the behaviour a real extent layout gives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.storage.striping import RoundRobinStripe
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A registered segment: ``npages`` file pages starting at ``base_vpage``."""
+
+    name: str
+    base_vpage: int
+    npages: int
+    #: First per-disk block reserved for this extent.
+    base_block: int
+
+    def contains(self, vpage: int) -> bool:
+        return self.base_vpage <= vpage < self.base_vpage + self.npages
+
+
+class ExtentLayout:
+    """Maps virtual pages to on-disk locations via per-segment extents."""
+
+    def __init__(self, num_disks: int) -> None:
+        self.stripe = RoundRobinStripe(num_disks)
+        self._extents: list[Extent] = []
+        self._next_block = 0
+
+    def register(self, name: str, base_vpage: int, npages: int) -> Extent:
+        """Reserve contiguous per-disk blocks for a new segment."""
+        if npages <= 0:
+            raise MachineError(f"extent {name!r} must have >= 1 page, got {npages}")
+        for ext in self._extents:
+            if base_vpage < ext.base_vpage + ext.npages and ext.base_vpage < base_vpage + npages:
+                raise MachineError(
+                    f"extent {name!r} overlaps existing extent {ext.name!r} in virtual space"
+                )
+        extent = Extent(name, base_vpage, npages, self._next_block)
+        # Reserve enough per-disk blocks to hold the whole stripe.
+        per_disk = -(-npages // self.stripe.num_disks)  # ceil division
+        self._next_block += per_disk
+        self._extents.append(extent)
+        return extent
+
+    def extent_of(self, vpage: int) -> Extent:
+        for ext in self._extents:
+            if ext.contains(vpage):
+                return ext
+        raise MachineError(f"virtual page {vpage} is not backed by any extent")
+
+    def locate(self, vpage: int) -> tuple[int, int]:
+        """(disk, block) of ``vpage``.
+
+        Within the extent, file pages stripe round-robin; the per-disk block
+        is offset by the extent's base block so distinct segments never
+        share disk blocks.
+        """
+        ext = self.extent_of(vpage)
+        offset = vpage - ext.base_vpage
+        disk, block = self.stripe.locate(offset)
+        return disk, ext.base_block + block
+
+    def split_run(self, start_vpage: int, npages: int) -> list[tuple[int, int, int]]:
+        """Per-disk contiguous requests covering a run of virtual pages.
+
+        The run must stay within one extent (callers request block
+        prefetches within a single array).
+        """
+        ext = self.extent_of(start_vpage)
+        if not ext.contains(start_vpage + npages - 1):
+            raise MachineError(
+                f"run [{start_vpage}, {start_vpage + npages}) crosses out of extent {ext.name!r}"
+            )
+        offset = start_vpage - ext.base_vpage
+        return [
+            (disk, ext.base_block + block, count)
+            for disk, block, count in self.stripe.split_run(offset, npages)
+        ]
+
+    @property
+    def extents(self) -> tuple[Extent, ...]:
+        return tuple(self._extents)

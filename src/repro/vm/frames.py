@@ -1,0 +1,116 @@
+"""Physical frame pool and the free list.
+
+Frames come from two sources, in preference order:
+
+1. *fresh* frames that have never held (or no longer hold) any page, and
+2. the *free list* of released pages, whose frames still hold valid
+   contents until the frame is stolen for another page.
+
+The distinction matters for two paper behaviours: a prefetch or fault for a
+page that is itself on the free list is a cheap *reclaim* (no disk I/O,
+"useful work" per Section 4.1.1), while stealing the oldest free-list frame
+for a different page silently discards the released contents.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import MachineError
+
+
+class FramePool:
+    """Tracks fresh frames and the FIFO free list of released pages."""
+
+    def __init__(self, total_frames: int) -> None:
+        if total_frames <= 0:
+            raise MachineError(f"frame pool needs >= 1 frame, got {total_frames}")
+        self.total_frames = total_frames
+        self.fresh = total_frames
+        #: Released pages whose frames are reclaimable, oldest first.
+        #: Maps vpage -> None (an ordered set).
+        self.freelist: OrderedDict[int, None] = OrderedDict()
+        self.in_use = 0
+        #: Frames taken away by competing applications (multiprogramming
+        #: experiments): unavailable until the competitor exits.
+        self.reserved = 0
+
+    @property
+    def free_count(self) -> int:
+        """Frames immediately available without eviction."""
+        return self.fresh + len(self.freelist)
+
+    def take_fresh(self) -> bool:
+        """Consume one fresh frame if available."""
+        if self.fresh > 0:
+            self.fresh -= 1
+            self.in_use += 1
+            return True
+        return False
+
+    def steal_from_freelist(self) -> int | None:
+        """Steal the oldest free-list frame; returns the discarded vpage."""
+        if not self.freelist:
+            return None
+        vpage, _ = self.freelist.popitem(last=False)
+        self.in_use += 1
+        return vpage
+
+    def reclaim(self, vpage: int) -> bool:
+        """Pull ``vpage`` itself off the free list (contents intact)."""
+        if vpage in self.freelist:
+            del self.freelist[vpage]
+            self.in_use += 1
+            return True
+        return False
+
+    def add_to_freelist(self, vpage: int) -> None:
+        """A released page's frame becomes reclaimable."""
+        if vpage in self.freelist:
+            raise MachineError(f"page {vpage} is already on the free list")
+        if self.in_use <= 0:
+            raise MachineError("free list gained a frame that was never in use")
+        self.in_use -= 1
+        self.freelist[vpage] = None
+
+    def surrender(self) -> None:
+        """An in-use frame becomes fresh again (its page was evicted)."""
+        if self.in_use <= 0:
+            raise MachineError("surrendered a frame that was never in use")
+        self.in_use -= 1
+        self.fresh += 1
+
+    def reserve_fresh(self) -> bool:
+        """A competitor claims one fresh frame (multiprogramming)."""
+        if self.fresh > 0:
+            self.fresh -= 1
+            self.reserved += 1
+            return True
+        return False
+
+    def convert_in_use_to_reserved(self) -> None:
+        """A just-vacated in-use frame goes straight to the competitor."""
+        if self.in_use <= 0:
+            raise MachineError("no in-use frame to convert to reserved")
+        self.in_use -= 1
+        self.reserved += 1
+
+    def unreserve(self, count: int) -> None:
+        """A competitor exits, returning ``count`` frames."""
+        if count > self.reserved:
+            raise MachineError(
+                f"cannot unreserve {count} frames; only {self.reserved} reserved"
+            )
+        self.reserved -= count
+        self.fresh += count
+
+    def check_invariant(self) -> None:
+        """Frames are conserved: fresh + freelist + in_use + reserved == total."""
+        if (self.fresh + len(self.freelist) + self.in_use + self.reserved
+                != self.total_frames):
+            raise MachineError(
+                "frame conservation violated: "
+                f"{self.fresh} fresh + {len(self.freelist)} freelist + "
+                f"{self.in_use} in use + {self.reserved} reserved "
+                f"!= {self.total_frames} total"
+            )

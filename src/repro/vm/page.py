@@ -1,0 +1,67 @@
+"""Per-page metadata.
+
+Each virtual page the application ever touches gets one :class:`Page`
+record.  The states form the life cycle::
+
+    ON_DISK --fault--> RESIDENT
+    ON_DISK --prefetch--> IN_TRANSIT --first touch / settle--> RESIDENT
+    RESIDENT --release--> FREELIST --reclaim--> RESIDENT
+    RESIDENT --eviction--> ON_DISK
+    FREELIST --frame stolen--> ON_DISK
+
+``prefetched_pending`` records that a prefetch was issued for the page
+since it was last resident; if the page nevertheless faults, the fault is
+classified *prefetched fault* (paper Figure 4(a)).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class PageState(enum.IntEnum):
+    """Residency state of one virtual page."""
+
+    ON_DISK = 0
+    IN_TRANSIT = 1
+    RESIDENT = 2
+    FREELIST = 3
+
+
+class Page:
+    """Mutable per-page record (kept intentionally small: hot path)."""
+
+    __slots__ = (
+        "vpage",
+        "state",
+        "dirty",
+        "ref_bit",
+        "arrival_us",
+        "via_prefetch",
+        "used_since_arrival",
+        "prefetched_pending",
+        "ring_token",
+        "version",
+    )
+
+    def __init__(self, vpage: int) -> None:
+        self.vpage = vpage
+        self.state = PageState.ON_DISK
+        self.dirty = False
+        self.ref_bit = False
+        #: Completion time of the in-flight read while IN_TRANSIT.
+        self.arrival_us = 0.0
+        #: True if the current/last arrival was caused by a prefetch.
+        self.via_prefetch = False
+        #: True once the application has touched the page after arrival.
+        self.used_since_arrival = False
+        #: A prefetch was issued since the page last left memory.
+        self.prefetched_pending = False
+        #: Insertion token for lazy deletion in the clock ring.
+        self.ring_token = 0
+        #: Write-version counter, used to detect the stale reads that
+        #: *binding* prefetches would produce (the paper's Figure 1).
+        self.version = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Page({self.vpage}, {self.state.name}, dirty={self.dirty})"

@@ -1,0 +1,269 @@
+"""Tests for the compiler analyses: bounds, locality, grouping, planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis.bounds import iteration_cost_us, trip_count
+from repro.core.analysis.locality import (
+    const_offset_bytes,
+    footprint_bytes,
+    group_references,
+    is_affine,
+    is_indirect_in,
+    ref_stride_bytes,
+)
+from repro.core.analysis.planner import PlanKind, plan_program
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import ElemOf, Var
+from repro.core.ir.nodes import ArrayRef, Loop
+from repro.core.options import CompilerOptions
+
+OPTS = CompilerOptions()
+
+
+class TestBounds:
+    def test_constant_trip(self):
+        lp = Loop("i", 0, 100, [])
+        est = trip_count(lp, {}, OPTS)
+        assert est.count == 100 and est.exact
+
+    def test_stepped_trip(self):
+        lp = Loop("i", 0, 10, [], step=3)
+        assert trip_count(lp, {}, OPTS).count == 4
+
+    def test_symbolic_trip_uses_assumption(self):
+        lp = Loop("i", 0, Var("N"), [])
+        est = trip_count(lp, {}, OPTS)
+        assert est.count == OPTS.assumed_symbolic_trip and not est.exact
+
+    def test_symbolic_trip_with_known_param(self):
+        lp = Loop("i", 0, Var("N"), [])
+        est = trip_count(lp, {"N": 42}, OPTS)
+        assert est.count == 42 and est.exact
+
+    def test_empty_trip(self):
+        lp = Loop("i", 5, 5, [])
+        assert trip_count(lp, {}, OPTS).count == 0
+
+    def test_iteration_cost_nested(self):
+        arr = ArrayDecl("x", (1000,))
+        body = [
+            work([read(arr, Var("i"))], 2.0),
+            loop("j", 0, 10, [work([read(arr, Var("j"))], 1.0)]),
+        ]
+        assert iteration_cost_us(body, {}, OPTS) == pytest.approx(12.0)
+
+
+class TestLocality:
+    def _c(self):
+        return ArrayDecl("c", (1000, 100), elem_size=8)
+
+    def test_innermost_stride(self):
+        ref = read(self._c(), Var("i"), Var("j"))
+        assert ref_stride_bytes(ref, "j", {}) == 8
+        assert ref_stride_bytes(ref, "i", {}) == 800
+
+    def test_coefficient_scaling(self):
+        ref = read(self._c(), Var("i"), 2 * Var("j"))
+        assert ref_stride_bytes(ref, "j", {}) == 16
+
+    def test_absent_var_stride_zero(self):
+        ref = read(self._c(), Var("i"), Var("j"))
+        assert ref_stride_bytes(ref, "k", {}) == 0
+
+    def test_unknown_dim_gives_none(self):
+        arr = ArrayDecl("c", (1000, "N"), elem_size=8)
+        ref = read(arr, Var("i"), Var("j"))
+        assert ref_stride_bytes(ref, "i", {}) is None
+        assert ref_stride_bytes(ref, "j", {}) == 8  # innermost still known
+
+    def test_indirect_detection(self):
+        barr = ArrayDecl("b", (100,), data=np.arange(100))
+        arr = ArrayDecl("a", (1000,))
+        ref = write(arr, ElemOf(barr, Var("i")))
+        assert not is_affine(ref)
+        assert is_indirect_in(ref, "i")
+        assert not is_indirect_in(ref, "j")
+        assert ref_stride_bytes(ref, "i", {}) is None
+
+    def test_footprint_single_loop(self):
+        arr = ArrayDecl("x", (100_000,), elem_size=8)
+        ref = read(arr, Var("i"))
+        lp = Loop("i", 0, 1000, [])
+        assert footprint_bytes(ref, [lp], {}, OPTS) == 999 * 8 + 8
+
+    def test_footprint_nest(self):
+        ref = read(self._c(), Var("i"), Var("j"))
+        li = Loop("i", 0, 10, [])
+        lj = Loop("j", 0, 100, [])
+        fp = footprint_bytes(ref, [li, lj], {}, OPTS)
+        assert fp == 9 * 800 + 99 * 8 + 8
+
+    def test_const_offset(self):
+        ref = read(self._c(), Var("i"), Var("j") + 3)
+        assert const_offset_bytes(ref, {}) == 24
+        ref = read(self._c(), Var("i") + 1, Var("j"))
+        assert const_offset_bytes(ref, {}) == 800
+
+
+class TestGrouping:
+    def test_stencil_group_elects_leader_and_trailer(self):
+        arr = ArrayDecl("x", (100_000,), elem_size=8)
+        i = Var("i")
+        refs = [read(arr, i - 1), read(arr, i), read(arr, i + 1)]
+        groups, ungrouped = group_references(refs, ["i"], {}, OPTS)
+        assert not ungrouped
+        assert len(groups) == 1
+        g = groups[0]
+        assert g.leader is refs[2]  # i+1 touches new data first
+        assert g.trailer is refs[0]
+
+    def test_page_apart_refs_split(self):
+        arr = ArrayDecl("x", (100_000,), elem_size=8)
+        i = Var("i")
+        refs = [read(arr, i), read(arr, i + 1024)]  # 8 KB apart > 1 page
+        groups, _ = group_references(refs, ["i"], {}, OPTS)
+        assert len(groups) == 2
+
+    def test_different_signatures_not_grouped(self):
+        arr = ArrayDecl("x", (100_000,), elem_size=8)
+        i = Var("i")
+        refs = [read(arr, i), read(arr, 2 * i)]
+        groups, _ = group_references(refs, ["i"], {}, OPTS)
+        assert len(groups) == 2
+
+    def test_plane_offset_groups_split(self):
+        """A[i][j] and A[i+1][j] are a plane apart: separate groups."""
+        arr = ArrayDecl("x", (100, 1000), elem_size=8)
+        i, j = Var("i"), Var("j")
+        refs = [read(arr, i, j), read(arr, i + 1, j)]
+        groups, _ = group_references(refs, ["i", "j"], {}, OPTS)
+        assert len(groups) == 2
+
+    def test_indirect_goes_ungrouped(self):
+        barr = ArrayDecl("b", (100,), data=np.arange(100))
+        arr = ArrayDecl("a", (1000,), elem_size=8)
+        refs = [write(arr, ElemOf(barr, Var("i")))]
+        groups, ungrouped = group_references(refs, ["i"], {}, OPTS)
+        assert not groups and len(ungrouped) == 1
+
+
+def build_stream(n=100_000, cost=10.0):
+    b = ProgramBuilder("stream")
+    x = b.array("x", (n,), elem_size=8)
+    b.append(loop("i", 0, n, [work([read(x, Var("i"))], cost)]))
+    return b.build()
+
+
+class TestPlanner:
+    def test_stream_gets_dense_plan_with_release(self):
+        plan = plan_program(build_stream(), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert len(dense) == 1
+        p = dense[0]
+        assert p.strip_iters == OPTS.block_pages * OPTS.page_size // 8
+        assert p.pages_per_hint == OPTS.block_pages
+        assert p.release  # top-level sequential stream
+
+    def test_small_array_not_prefetched(self):
+        plan = plan_program(build_stream(n=1000), OPTS)
+        assert all(p.kind is PlanKind.NONE for p in plan.plans)
+        assert "memory-resident" in plan.plans[0].reason
+
+    def test_pipeline_loop_is_first_page_crossing(self):
+        """c[i][j] with small rows pipelines across i, not j (Fig. 2)."""
+        b = ProgramBuilder("rows")
+        c = b.array("c", (10_000, 100), elem_size=8)  # row = 800 B < page
+        i, j = Var("i"), Var("j")
+        b.append(loop("i", 0, 10_000, [
+            loop("j", 0, 100, [work([read(c, i, j)], 1.0)]),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert len(dense) == 1
+        assert dense[0].pipeline_loop.var == "i"
+        # A top-level row-major sweep is a genuine stream (800 bytes per
+        # iteration <= one page), so the streaming release policy applies.
+        assert dense[0].release
+
+    def test_wide_rows_pipeline_across_inner(self):
+        b = ProgramBuilder("wide")
+        c = b.array("c", (100, 10_000), elem_size=8)  # row = 80 KB > page
+        i, j = Var("i"), Var("j")
+        b.append(loop("i", 0, 100, [
+            loop("j", 0, 10_000, [work([read(c, i, j)], 1.0)]),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert dense[0].pipeline_loop.var == "j"
+        assert not dense[0].release  # not the outermost loop
+
+    def test_indirect_plan(self):
+        b = ProgramBuilder("ind")
+        key = b.array("key", (100_000,), elem_size=8, data=np.zeros(100_000, dtype=np.int64))
+        out = b.array("out", (100_000,), elem_size=8)
+        i = Var("i")
+        b.append(loop("i", 0, 100_000, [
+            work([read(key, i), write(out, ElemOf(key, i))], 10.0),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        kinds = {p.ref.array.name: p.kind for p in plan.plans}
+        assert kinds["out"] is PlanKind.INDIRECT
+        ind = next(p for p in plan.plans if p.kind is PlanKind.INDIRECT)
+        assert 1 <= ind.lookahead_iters <= OPTS.max_indirect_distance
+
+    def test_duplicate_indirect_covered(self):
+        b = ProgramBuilder("ind2")
+        key = b.array("key", (100_000,), elem_size=8, data=np.zeros(100_000, dtype=np.int64))
+        out = b.array("out", (100_000,), elem_size=8)
+        i = Var("i")
+        b.append(loop("i", 0, 100_000, [
+            work([read(out, ElemOf(key, i)), write(out, ElemOf(key, i))], 10.0),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        indirect = [p for p in plan.plans if p.kind is PlanKind.INDIRECT]
+        covered = [p for p in plan.plans if p.kind is PlanKind.COVERED]
+        assert len(indirect) == 1
+        assert len(covered) == 1
+
+    def test_group_leader_planned_others_covered(self):
+        b = ProgramBuilder("stencil")
+        x = b.array("x", (500_000,), elem_size=8)
+        i = Var("i")
+        b.append(loop("i", 1, 499_999, [
+            work([read(x, i - 1), read(x, i), read(x, i + 1)], 10.0),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        covered = [p for p in plan.plans if p.kind is PlanKind.COVERED]
+        assert len(dense) == 1 and len(covered) == 2
+
+    def test_symbolic_bounds_flagged_inexact(self):
+        b = ProgramBuilder("sym", params={"N": 5}, compile_time_params={})
+        c = b.array("c", (10_000, "N"), elem_size=8)
+        i, j = Var("i"), Var("j")
+        b.append(loop("i", 0, 10_000, [
+            loop("j", 0, Var("N"), [work([read(c, i, j)], 1.0)]),
+        ]))
+        plan = plan_program(b.build(), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert len(dense) == 1
+        # With the "large" assumption the compiler pipelines across j --
+        # the APPBT mistake.
+        assert dense[0].pipeline_loop.var == "j"
+        assert dense[0].inexact
+        assert plan.inexact_loops
+
+    def test_distance_scales_inversely_with_cost(self):
+        cheap = plan_program(build_stream(cost=0.2), OPTS)
+        costly = plan_program(build_stream(cost=50.0), OPTS)
+        d_cheap = next(p for p in cheap.plans if p.kind is PlanKind.DENSE).distance_strips
+        d_costly = next(p for p in costly.plans if p.kind is PlanKind.DENSE).distance_strips
+        assert d_cheap >= d_costly
+
+    def test_release_policy_none(self):
+        opts = OPTS.scaled(release_policy="none")
+        plan = plan_program(build_stream(), opts)
+        dense = next(p for p in plan.plans if p.kind is PlanKind.DENSE)
+        assert not dense.release

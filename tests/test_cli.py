@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        for name in ("BUK", "CGM", "EMBAR", "FFT", "MGRID", "APPLU", "APPSP", "APPBT"):
+            assert name in out
+
+    def test_platform(self, capsys):
+        assert main(["platform"]) == 0
+        out = capsys.readouterr().out
+        assert "disks" in out
+        assert "page size" in out
+
+    def test_platform_overrides(self, capsys):
+        assert main(["--memory-pages", "128", "--disks", "3", "platform"]) == 0
+        out = capsys.readouterr().out
+        assert "128 pages" in out
+        assert "3" in out
+
+    def test_compile(self, capsys):
+        assert main(["compile", "EMBAR", "--pages", "160"]) == 0
+        out = capsys.readouterr().out
+        assert "prefetch pass" in out
+        assert "dense" in out
+
+    def test_compile_print_code(self, capsys):
+        assert main(["compile", "EMBAR", "--pages", "160", "--print-code"]) == 0
+        out = capsys.readouterr().out
+        assert "prefetch_block(" in out
+
+    def test_compile_two_version(self, capsys):
+        assert main(["compile", "APPBT", "--pages", "160", "--two-version"]) == 0
+
+    def test_run_original(self, capsys):
+        assert main(["--memory-pages", "96", "run", "EMBAR",
+                     "--pages", "120", "--variant", "o"]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out
+        assert "prefetches inserted" in out
+
+    def test_run_prefetch_variant(self, capsys):
+        assert main(["--memory-pages", "96", "run", "EMBAR",
+                     "--pages", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "[P]" in out
+
+    def test_run_warm(self, capsys):
+        assert main(["--memory-pages", "256", "run", "EMBAR",
+                     "--pages", "80", "--warm"]) == 0
+        assert "warm start" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["--memory-pages", "96", "compare", "EMBAR",
+                     "--pages", "140"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs O" in out
+        assert "P" in out
+
+    def test_compare_with_extras(self, capsys):
+        assert main(["--memory-pages", "96", "compare", "BUK",
+                     "--pages", "140", "--nofilter", "--adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "P-nofilter" in out
+        assert "P-adaptive" in out
+
+    def test_sweep(self, capsys):
+        assert main(["--memory-pages", "64", "sweep", "BUK",
+                     "--multiples", "0.5,1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5x" in out and "1.5x" in out
+
+    def test_unknown_app_errors(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            main(["compile", "NOPE"])
+
+    def test_nas_names_accepted(self, capsys):
+        assert main(["compile", "is", "--pages", "160"]) == 0
+
+    def test_multiprog(self, capsys):
+        assert main(["--memory-pages", "96", "multiprog", "EMBAR,BUK",
+                     "--pages", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "EMBAR#0" in out and "BUK#1" in out
+        assert "(machine)" in out
+
+    def test_size_class(self, capsys):
+        assert main(["--memory-pages", "128", "run", "EMBAR",
+                     "--size-class", "S", "--variant", "o"]) == 0
+        out = capsys.readouterr().out
+        assert "data pages" in out
+
+    def test_compare_size_class(self, capsys):
+        assert main(["--memory-pages", "96", "compare", "EMBAR",
+                     "--size-class", "W"]) == 0

@@ -1,0 +1,85 @@
+"""Golden tests: the generated code's shape must stay recognizable.
+
+These pin the *structural landmarks* of the compiler's output -- the same
+landmarks the paper's Figure 2(b) shows -- rather than byte-exact text, so
+cost-model tweaks do not break them but structural regressions do.
+"""
+
+import re
+
+import numpy as np
+
+from repro.config import PlatformConfig
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import ElemOf, Var
+from repro.core.ir.printer import format_program
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+
+CFG = PlatformConfig()
+OPTS = CompilerOptions.from_platform(CFG)
+
+
+def figure2a(n=80_000, m=10):
+    rng = np.random.default_rng(0)
+    b = ProgramBuilder("fig2a")
+    i, j = Var("i"), Var("j")
+    a = b.array("a", (250_000,), elem_size=4)
+    barr = b.array("b", (n,), elem_size=4,
+                   data=rng.integers(0, 250_000, size=n))
+    c = b.array("c", (n, m), elem_size=4)
+    b.append(loop("i", 0, n, [
+        loop("j", 0, m, [work([read(c, i, j)], 2.0)]),
+        work([read(barr, i), write(a, ElemOf(barr, i))], 4.0),
+    ]))
+    return b.build()
+
+
+class TestFigure2Landmarks:
+    def setup_method(self):
+        self.text = format_program(
+            insert_prefetches(figure2a(), OPTS).program, include_decls=False
+        )
+
+    def test_prolog_block_prefetches_precede_the_nest(self):
+        first_for = self.text.index("for (")
+        prolog = self.text[:first_for]
+        # The indirect warm-up loop is itself a 'for', so check the dense
+        # prologs exist before the *strip* loop.
+        strip_start = self.text.index("i__s0")
+        assert self.text.index("prefetch_block(&c[0][0]") < strip_start
+        assert self.text.index("prefetch_block(&b[0]") < strip_start
+
+    def test_strip_mined_control_loops(self):
+        assert re.search(r"for \(i__s0 = 0; .* i__s0 \+= \d+\)", self.text)
+        assert re.search(r"for \(i__s1 = i__s0; .* i__s1 \+= \d+\)", self.text)
+
+    def test_innermost_keeps_original_variable(self):
+        assert re.search(r"for \(i = i__s1; i < min\(i__s1 \+ \d+, \d+\); i\+\+\)", self.text)
+
+    def test_steady_state_bundles_prefetch_and_release(self):
+        assert "prefetch_release_block(&b[i__s0 + " in self.text
+        assert "prefetch_release_block(&c[i__s1 + " in self.text
+
+    def test_indirect_prefetch_with_lookahead(self):
+        assert re.search(r"prefetch\(&a\[b\[i \+ \d+\]\]\);", self.text)
+
+    def test_epilog_loop_without_block_hints(self):
+        epilog_start = self.text.rindex("for (i = max(")
+        epilog = self.text[epilog_start:]
+        assert "prefetch_block" not in epilog
+        assert "prefetch_release_block" not in epilog
+
+    def test_steady_loop_stops_short_of_the_end(self):
+        match = re.search(r"for \(i__s0 = 0; i__s0 < (\d+);", self.text)
+        assert match is not None
+        assert int(match.group(1)) < 80_000  # hi - max_lookahead
+
+
+class TestDeterminism:
+    def test_codegen_is_deterministic(self):
+        a = format_program(insert_prefetches(figure2a(), OPTS).program)
+        b = format_program(insert_prefetches(figure2a(), OPTS).program)
+        # Indirect prolog counters differ across passes; normalize them.
+        normalize = lambda s: re.sub(r"i__p\d+", "i__pN", s)
+        assert normalize(a) == normalize(b)

@@ -1,0 +1,118 @@
+"""Tests for repro.config: platform validation and derived quantities."""
+
+import pytest
+
+from repro.config import CostModel, DiskParameters, PlatformConfig
+from repro.errors import ConfigError
+
+
+class TestPlatformValidation:
+    def test_default_platform_is_valid(self):
+        cfg = PlatformConfig()
+        assert cfg.page_size == 4096
+        assert cfg.num_disks == 7
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(page_size=3000)
+
+    def test_page_size_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(page_size=0)
+
+    def test_memory_pages_positive(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(memory_pages=0)
+
+    def test_available_fraction_range(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(available_fraction=0.0)
+        with pytest.raises(ConfigError):
+            PlatformConfig(available_fraction=1.5)
+        PlatformConfig(available_fraction=1.0)  # boundary is legal
+
+    def test_num_disks_positive(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(num_disks=0)
+
+    def test_block_pages_positive(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(prefetch_block_pages=0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            PlatformConfig(cost=CostModel(fault_service_us=-1.0))
+
+
+class TestDerivedQuantities:
+    def test_available_frames(self):
+        cfg = PlatformConfig(memory_pages=1000, available_fraction=0.75)
+        assert cfg.available_frames == 750
+
+    def test_available_frames_at_least_one(self):
+        cfg = PlatformConfig(memory_pages=1, available_fraction=0.1)
+        assert cfg.available_frames == 1
+
+    def test_memory_bytes(self):
+        cfg = PlatformConfig(memory_pages=512, page_size=4096)
+        assert cfg.memory_bytes == 512 * 4096
+
+    def test_fault_latency_includes_service_and_disk(self):
+        cfg = PlatformConfig()
+        latency = cfg.average_fault_latency_us()
+        assert latency > cfg.cost.fault_service_us
+        assert latency == cfg.cost.fault_service_us + cfg.disk.random_service_us(1)
+
+    def test_scaled_returns_modified_copy(self):
+        cfg = PlatformConfig()
+        small = cfg.scaled(memory_pages=128)
+        assert small.memory_pages == 128
+        assert cfg.memory_pages == 512
+        assert small.num_disks == cfg.num_disks
+
+
+class TestDiskParameters:
+    def test_sequential_cheaper_than_random(self):
+        disk = DiskParameters()
+        assert disk.sequential_service_us(1) < disk.random_service_us(1)
+
+    def test_multi_page_transfers_scale(self):
+        disk = DiskParameters()
+        one = disk.random_service_us(1)
+        four = disk.random_service_us(4)
+        assert four == pytest.approx(one + 3 * disk.transfer_us_per_page)
+
+    def test_sequential_has_no_seek(self):
+        disk = DiskParameters(avg_seek_us=9999.0, rotational_us=1111.0)
+        assert disk.sequential_service_us(1) == pytest.approx(
+            disk.command_overhead_us + disk.transfer_us_per_page
+        )
+
+
+class TestDsmPlatform:
+    def test_dsm_profile_is_position_independent(self):
+        dsm = DiskParameters.dsm_network()
+        assert dsm.random_service_us(1) == pytest.approx(dsm.near_service_us(1) + dsm.rotational_us / 2)
+        assert dsm.avg_seek_us == 0.0
+
+    def test_dsm_platform_factory(self):
+        platform = PlatformConfig.dsm(home_nodes=4)
+        assert platform.num_disks == 4
+        assert platform.average_fault_latency_us() < PlatformConfig().average_fault_latency_us()
+
+    def test_dsm_overrides(self):
+        platform = PlatformConfig.dsm(home_nodes=2, memory_pages=128)
+        assert platform.memory_pages == 128
+
+    def test_dsm_end_to_end_prefetching_wins(self):
+        from repro.apps import synthetic
+        from repro.core.options import CompilerOptions
+        from repro.core.prefetch_pass import insert_prefetches
+        from repro.harness.experiment import run_variant
+
+        platform = PlatformConfig.dsm(home_nodes=4, memory_pages=128)
+        program = synthetic.stream(2 * platform.available_frames * 512, cost_us=8.0)
+        compiled = insert_prefetches(program, CompilerOptions.from_platform(platform))
+        o = run_variant(program, platform, prefetching=False)
+        p = run_variant(compiled.program, platform, prefetching=True)
+        assert p.elapsed_us < o.elapsed_us

@@ -1,0 +1,187 @@
+"""Tests for the interpreter: vectorized/scalar equivalence, hints, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import ElemOf, MinExpr, Var
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.errors import AddressError
+from repro.interp.executor import Executor, run_program
+from repro.interp.tracing import access_trace
+from repro.machine.machine import Machine
+
+CFG = PlatformConfig(memory_pages=128, available_fraction=0.75, num_disks=4)
+
+
+def run_both_ways(program, prefetching=False):
+    """Execute with and without vectorization; stats must agree."""
+    m1 = Machine(CFG, prefetching=prefetching)
+    s1 = Executor(m1, vectorize=True).run(program)
+    m2 = Machine(CFG, prefetching=prefetching)
+    s2 = Executor(m2, vectorize=False).run(program)
+    return s1, s2
+
+
+def assert_equivalent(s1, s2):
+    assert s1.elapsed_us == pytest.approx(s2.elapsed_us, rel=1e-9)
+    assert s1.faults.total_faults == s2.faults.total_faults
+    assert s1.faults.prefetched_hit == s2.faults.prefetched_hit
+    assert s1.faults.nonprefetched_fault == s2.faults.nonprefetched_fault
+    assert s1.prefetch.compiler_inserted == s2.prefetch.compiler_inserted
+    assert s1.prefetch.filtered == s2.prefetch.filtered
+    assert s1.prefetch.issued_pages == s2.prefetch.issued_pages
+    assert s1.release.pages_released == s2.release.pages_released
+    assert s1.disk.total_requests == s2.disk.total_requests
+
+
+def stream_program(n=20_000, cost=10.0):
+    b = ProgramBuilder("stream")
+    x = b.array("x", (n,), elem_size=8)
+    b.append(loop("i", 0, n, [work([read(x, Var("i")), write(x, Var("i"))], cost)]))
+    return b.build()
+
+
+def indirect_program(n=8_000, target_pages=64, seed=3):
+    rng = np.random.default_rng(seed)
+    b = ProgramBuilder("indirect")
+    key = b.array(
+        "key", (n,), elem_size=8,
+        data=rng.integers(0, target_pages * 512, size=n),
+    )
+    out = b.array("out", (target_pages * 512,), elem_size=8)
+    i = Var("i")
+    b.append(loop("i", 0, n, [
+        work([read(key, i), write(out, ElemOf(key, i))], 8.0),
+    ]))
+    return b.build()
+
+
+class TestScalarVectorEquivalence:
+    def test_plain_stream(self):
+        s1, s2 = run_both_ways(stream_program())
+        assert_equivalent(s1, s2)
+
+    def test_indirect(self):
+        s1, s2 = run_both_ways(indirect_program())
+        assert_equivalent(s1, s2)
+
+    def test_transformed_stream(self):
+        res = insert_prefetches(stream_program(), CompilerOptions.from_platform(CFG))
+        s1, s2 = run_both_ways(res.program, prefetching=True)
+        assert_equivalent(s1, s2)
+
+    def test_transformed_indirect(self):
+        res = insert_prefetches(indirect_program(), CompilerOptions.from_platform(CFG))
+        s1, s2 = run_both_ways(res.program, prefetching=True)
+        assert_equivalent(s1, s2)
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("nest")
+        c = b.array("c", (500, 64), elem_size=8)
+        i, j = Var("i"), Var("j")
+        b.append(loop("i", 0, 500, [
+            loop("j", 0, 64, [work([read(c, i, j)], 3.0)]),
+        ]))
+        s1, s2 = run_both_ways(b.build())
+        assert_equivalent(s1, s2)
+
+
+class TestExecutorSemantics:
+    def test_fault_count_matches_pages_touched(self):
+        prog = stream_program(n=10 * 512)  # exactly 10 pages
+        stats = run_program(prog, Machine(CFG, prefetching=False))
+        assert stats.faults.total_faults == 10
+
+    def test_empty_loop_runs_nothing(self):
+        b = ProgramBuilder("empty")
+        x = b.array("x", (100,), elem_size=8)
+        b.append(loop("i", 5, 5, [work([read(x, Var("i"))], 1.0)]))
+        stats = run_program(b.build(), Machine(CFG, prefetching=False))
+        assert stats.faults.total_faults == 0
+
+    def test_min_bound_loop(self):
+        b = ProgramBuilder("minb")
+        x = b.array("x", (4096,), elem_size=8)
+        b.append(loop("i", 0, MinExpr(Var("N"), 1000), [
+            work([read(x, Var("i"))], 1.0)
+        ]))
+        b.params.update({"N": 600})
+        prog = b.build()
+        stats = run_program(prog, Machine(CFG, prefetching=False))
+        assert stats.times.user_compute == pytest.approx(600.0)
+
+    def test_out_of_bounds_reference_raises(self):
+        b = ProgramBuilder("oob")
+        x = b.array("x", (100,), elem_size=8)
+        b.append(loop("i", 0, 200, [work([read(x, Var("i"))], 1.0)]))
+        with pytest.raises(AddressError):
+            run_program(b.build(), Machine(CFG, prefetching=False))
+
+    def test_out_of_bounds_scalar_path_raises(self):
+        b = ProgramBuilder("oob2")
+        x = b.array("x", (100,), elem_size=8)
+        b.append(work([read(x, Var("N"))], 1.0))
+        b.params.update({"N": 500})
+        with pytest.raises(AddressError):
+            run_program(b.build(), Machine(CFG, prefetching=False))
+
+    def test_out_of_range_hint_is_noop(self):
+        """Hints clamped off an array end are dropped, not errors."""
+        prog = stream_program(n=3 * 512)  # 3 pages: lookahead runs off end
+        res = insert_prefetches(prog, CompilerOptions.from_platform(CFG))
+        machine = Machine(CFG, prefetching=True)
+        executor = Executor(machine)
+        executor.run(prog and res.program)
+        # The run completed; nothing to assert beyond no exception, plus
+        # the access stream stayed correct:
+        assert machine.stats.faults.total_faults <= 3
+
+    def test_warm_start_eliminates_faults(self):
+        prog = stream_program(n=20 * 512)
+        machine = Machine(CFG, prefetching=False)
+        stats = Executor(machine, warm_start=True).run(prog)
+        assert stats.faults.total_faults == 0
+        # No read stalls; the final dirty flush is the only idle time.
+        assert stats.times.stall_read == pytest.approx(0.0)
+
+    def test_pure_compute_loop_batched(self):
+        b = ProgramBuilder("compute")
+        b.append(loop("i", 0, 1_000_000, [work([], 0.5)]))
+        stats = run_program(b.build(), Machine(CFG, prefetching=False))
+        assert stats.times.user_compute == pytest.approx(500_000.0)
+
+    def test_hints_dead_in_nonprefetching_machine(self):
+        res = insert_prefetches(stream_program(), CompilerOptions.from_platform(CFG))
+        stats = run_program(res.program, Machine(CFG, prefetching=False))
+        assert stats.prefetch.compiler_inserted == 0
+        assert stats.times.user_overhead == 0.0
+
+
+class TestTracing:
+    def test_trace_matches_simulated_faults(self):
+        """Distinct pages in the trace == faults in an O run (cold LRU-free)."""
+        prog = stream_program(n=6 * 512)
+        trace = access_trace(prog)
+        arr = prog.array("x")
+        page_size = CFG.page_size
+        distinct_pages = {
+            (name, (idx * arr.elem_size) // page_size) for name, idx, _ in trace
+        }
+        stats = run_program(prog, Machine(CFG, prefetching=False))
+        assert stats.faults.total_faults == len(distinct_pages)
+
+    def test_trace_limit_enforced(self):
+        from repro.errors import ExecutionError
+
+        prog = stream_program(n=10_000)
+        with pytest.raises(ExecutionError):
+            access_trace(prog, limit=10)
+
+    def test_trace_records_writes(self):
+        prog = stream_program(n=16)
+        trace = access_trace(prog)
+        assert any(is_write for _, _, is_write in trace)
+        assert any(not is_write for _, _, is_write in trace)

@@ -1,0 +1,176 @@
+"""Tests for the IR expression language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.expr import (
+    Affine,
+    CeilDiv,
+    Const,
+    ElemOf,
+    MinExpr,
+    Var,
+    as_expr,
+)
+from repro.errors import ExecutionError, IRError
+
+
+class TestOperators:
+    def test_var_plus_int(self):
+        e = Var("i") + 3
+        assert e.eval({"i": 10}) == 13
+
+    def test_var_minus_var(self):
+        e = Var("i") - Var("j")
+        assert e.eval({"i": 10, "j": 4}) == 6
+
+    def test_scalar_multiply(self):
+        e = 4 * Var("i") + 1
+        assert e.eval({"i": 5}) == 21
+
+    def test_affine_combination(self):
+        e = 2 * Var("i") + 3 * Var("j") - 7
+        assert e.eval({"i": 1, "j": 2}) == 1
+
+    def test_cancellation_folds_to_const(self):
+        e = Var("i") - Var("i") + 5
+        assert isinstance(e, Const)
+        assert e.value == 5
+
+    def test_non_int_scale_rejected(self):
+        with pytest.raises(IRError):
+            Var("i") * 1.5  # noqa: B018
+
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr(3), Const)
+        assert isinstance(as_expr("i"), Var)
+        e = Var("i")
+        assert as_expr(e) is e
+        with pytest.raises(IRError):
+            as_expr(3.14)
+
+
+class TestEvaluation:
+    def test_unbound_var_raises(self):
+        with pytest.raises(ExecutionError):
+            Var("missing").eval({})
+
+    def test_vectorized_matches_scalar(self):
+        e = 3 * Var("i") + 2 * Var("j") + 1
+        env = {"j": 4}
+        values = np.arange(0, 50, 3)
+        vec = e.eval_vec(env, "i", values)
+        scalar = [e.eval({"i": int(v), "j": 4}) for v in values]
+        assert list(vec) == scalar
+
+    def test_vectorized_constant_broadcast(self):
+        e = Const(7)
+        assert e.eval_vec({}, "i", np.arange(5)) == 7
+
+    def test_min_expr(self):
+        e = MinExpr(Var("i") + 10, Const(15))
+        assert e.eval({"i": 2}) == 12
+        assert e.eval({"i": 9}) == 15
+
+    def test_min_vectorized(self):
+        e = MinExpr(Var("i"), Const(3))
+        out = e.eval_vec({}, "i", np.arange(6))
+        assert list(out) == [0, 1, 2, 3, 3, 3]
+
+    def test_ceildiv(self):
+        e = CeilDiv(Var("n"), 4)
+        assert e.eval({"n": 8}) == 2
+        assert e.eval({"n": 9}) == 3
+        with pytest.raises(IRError):
+            CeilDiv(Var("n"), 0)
+
+
+class TestTryConst:
+    def test_const_is_known(self):
+        assert Const(5).try_const({}) == 5
+
+    def test_var_known_or_not(self):
+        assert Var("n").try_const({"n": 9}) == 9
+        assert Var("n").try_const({}) is None
+
+    def test_affine_partial_knowledge(self):
+        e = Var("n") + Var("m")
+        assert e.try_const({"n": 1}) is None
+        assert e.try_const({"n": 1, "m": 2}) == 3
+
+    def test_elemof_never_const(self):
+        arr = ArrayDecl("b", (10,), data=np.arange(10))
+        assert ElemOf(arr, Const(3)).try_const({}) is None
+
+    def test_min_folds(self):
+        assert MinExpr(Const(3), Const(5)).try_const({}) == 3
+
+
+class TestElemOf:
+    def _arr(self):
+        return ArrayDecl("b", (10,), data=np.array([5, 3, 8, 1, 9, 0, 2, 7, 4, 6]))
+
+    def test_lookup(self):
+        e = ElemOf(self._arr(), Var("i"))
+        assert e.eval({"i": 2}) == 8
+
+    def test_out_of_range_raises(self):
+        e = ElemOf(self._arr(), Const(50))
+        with pytest.raises(ExecutionError):
+            e.eval({})
+
+    def test_clamp(self):
+        e = ElemOf(self._arr(), Const(50), clamp=True)
+        assert e.eval({}) == 6  # last element
+        e = ElemOf(self._arr(), Const(-3), clamp=True)
+        assert e.eval({}) == 5  # first element
+
+    def test_vectorized_lookup(self):
+        e = ElemOf(self._arr(), Var("i"))
+        out = e.eval_vec({}, "i", np.array([0, 1, 2]))
+        assert list(out) == [5, 3, 8]
+
+    def test_vectorized_clamp(self):
+        e = ElemOf(self._arr(), Var("i"), clamp=True)
+        out = e.eval_vec({}, "i", np.array([8, 9, 10, 11]))
+        assert list(out) == [4, 6, 6, 6]
+
+    def test_no_data_raises(self):
+        arr = ArrayDecl("b", (10,))
+        with pytest.raises(ExecutionError):
+            ElemOf(arr, Const(0)).eval({})
+
+    def test_free_vars_from_index(self):
+        e = ElemOf(self._arr(), Var("i") + Var("j"))
+        assert e.free_vars() == {"i", "j"}
+
+
+@st.composite
+def affine_exprs(draw):
+    nterms = draw(st.integers(0, 3))
+    terms = {
+        f"v{k}": draw(st.integers(-10, 10)) for k in range(nterms)
+    }
+    const = draw(st.integers(-100, 100))
+    return Affine(terms, const)
+
+
+class TestAffineProperties:
+    @given(affine_exprs(), affine_exprs(), st.dictionaries(
+        st.sampled_from(["v0", "v1", "v2"]), st.integers(-50, 50),
+        min_size=3))
+    def test_addition_homomorphic(self, a, b, env):
+        assert (a + b).eval(env) == a.eval(env) + b.eval(env)
+
+    @given(affine_exprs(), st.integers(-10, 10), st.dictionaries(
+        st.sampled_from(["v0", "v1", "v2"]), st.integers(-50, 50),
+        min_size=3))
+    def test_scaling_homomorphic(self, a, k, env):
+        assert (a * k).eval(env) == k * a.eval(env)
+
+    @given(affine_exprs())
+    def test_try_const_agrees_with_eval(self, a):
+        env = {v: 7 for v in a.free_vars()}
+        assert a.try_const(env) == a.eval(env)

@@ -1,0 +1,124 @@
+"""End-to-end integration tests: the paper's headline claims at small scale.
+
+Fast (seconds, reduced platform) versions of the properties the benchmark
+suite asserts at canonical scale, so ``pytest tests/`` alone demonstrates
+the reproduction works.
+"""
+
+import pytest
+
+from repro.apps.registry import ALL_APPS, get_app
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.harness.experiment import compare_app
+
+#: Reduced platform: 512 KB of memory, 96 application frames.
+SMALL = PlatformConfig(memory_pages=128)
+
+
+@pytest.fixture(scope="module")
+def small_runs():
+    """One out-of-core comparison per app on the reduced platform."""
+    return {
+        spec.name: compare_app(spec, SMALL, include_nofilter=spec.name in ("BUK", "CGM"))
+        for spec in ALL_APPS
+    }
+
+
+class TestHeadlineClaims:
+    def test_prefetching_speeds_up_every_app(self, small_runs):
+        for name, result in small_runs.items():
+            assert result.speedup > 1.02, (name, result.speedup)
+
+    def test_majority_speedups_are_large(self, small_runs):
+        large = [r for r in small_runs.values() if r.speedup > 1.5]
+        assert len(large) >= 5
+
+    def test_stall_mostly_eliminated(self, small_runs):
+        over_half = [
+            r for r in small_runs.values() if r.stall_eliminated > 0.5
+        ]
+        assert len(over_half) >= 7
+
+    def test_coverage_high_except_appbt(self, small_runs):
+        for name, result in small_runs.items():
+            coverage = result.prefetch.stats.faults.coverage
+            if name == "APPBT":
+                assert coverage < 0.8, coverage
+            else:
+                assert coverage > 0.75, (name, coverage)
+
+    def test_indirect_apps_need_the_filter(self, small_runs):
+        for name in ("BUK", "CGM"):
+            result = small_runs[name]
+            nofilter = result.extras["P-nofilter"].stats
+            assert nofilter.elapsed_us > result.original.elapsed_us, name
+
+    def test_release_apps_keep_memory_free(self, small_runs):
+        for name in ("BUK", "EMBAR"):
+            p = small_runs[name].prefetch.stats
+            assert p.memory.avg_free_fraction(p.elapsed_us) > 0.5, name
+
+    def test_disk_requests_not_inflated(self, small_runs):
+        for name, result in small_runs.items():
+            o = result.original.stats.disk.total_requests
+            p = result.prefetch.stats.disk.total_requests
+            assert p < 1.3 * o, (name, o, p)
+
+    def test_prefetch_overhead_offset_by_fault_savings(self, small_runs):
+        """Figure 3(a): prefetch system time is offset by fault savings."""
+        for name, result in small_runs.items():
+            o = result.original.stats.times
+            p = result.prefetch.stats.times
+            # Total system time must not balloon.
+            assert p.system < o.system + 0.2 * result.original.elapsed_us, name
+
+
+class TestCrossVariantConsistency:
+    def test_identical_fault_footprint(self, small_runs):
+        """O and P read the same data from disk overall."""
+        for name, result in small_runs.items():
+            o_reads = result.original.stats.disk.reads_fault
+            p = result.prefetch.stats.disk
+            p_reads = p.reads_fault + p.reads_prefetch
+            assert abs(p_reads - o_reads) <= 0.3 * o_reads + 16, (
+                name, o_reads, p_reads
+            )
+
+    def test_user_compute_identical(self, small_runs):
+        """The transformation never changes the useful work."""
+        for name, result in small_runs.items():
+            o = result.original.stats.times.user_compute
+            p = result.prefetch.stats.times.user_compute
+            assert o == pytest.approx(p, rel=1e-9), name
+
+
+class TestBukSweepSmall:
+    def test_discontinuity_and_linearity(self):
+        spec = get_app("BUK")
+        # Same reduced platform the Figure 8 bench uses: big enough that
+        # in-core runs are not dominated by their cold faults.
+        platform = PlatformConfig(memory_pages=192)
+        avail = platform.available_frames
+        times_o, times_p = {}, {}
+        for multiple in (0.5, 3.0):
+            pages = int(avail * multiple)
+            result = compare_app(spec, platform, data_pages=pages)
+            times_o[multiple] = result.original.elapsed_us / pages
+            times_p[multiple] = result.prefetch.elapsed_us / pages
+        assert times_o[3.0] > 1.8 * times_o[0.5]
+        assert times_p[3.0] < 1.8 * times_p[0.5]
+
+
+class TestTwoVersionIntegration:
+    def test_fix_recovers_appbt(self):
+        spec = get_app("APPBT")
+        plain = compare_app(spec, SMALL)
+        fixed = compare_app(
+            spec, SMALL,
+            options=CompilerOptions.from_platform(SMALL, two_version_loops=True),
+        )
+        assert (
+            fixed.prefetch.stats.faults.coverage
+            > plain.prefetch.stats.faults.coverage + 0.1
+        )

@@ -1,0 +1,222 @@
+"""Tests for IR nodes, arrays, the builder, validation, and the printer."""
+
+import numpy as np
+import pytest
+
+from repro.core.ir.arrays import ArrayDecl
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Const, ElemOf, Var
+from repro.core.ir.nodes import AddrOf, ArrayRef, Cmp, Hint, HintKind, If, Loop, Program, Work
+from repro.core.ir.printer import format_program
+from repro.core.ir.validate import validate_program
+from repro.core.ir.visit import count_stmts, transform_stmts, walk_hints, walk_loops, walk_refs
+from repro.errors import ExecutionError, IRError
+
+
+class TestArrayDecl:
+    def test_strides_row_major(self):
+        arr = ArrayDecl("c", (10, 20, 30))
+        assert arr.strides_elems({}) == (600, 30, 1)
+
+    def test_symbolic_shape_resolution(self):
+        arr = ArrayDecl("c", (10, "N"))
+        assert arr.resolved_shape({"N": 5}) == (10, 5)
+        with pytest.raises(ExecutionError):
+            arr.resolved_shape({})
+
+    def test_compile_time_strides_with_unknowns(self):
+        arr = ArrayDecl("c", ("M", "N", 8))
+        strides = arr.compile_time_strides({"N": 4})
+        assert strides == (32, 8, 1)
+        strides = arr.compile_time_strides({})
+        assert strides == (None, 8, 1)
+
+    def test_nbytes(self):
+        arr = ArrayDecl("x", (100,), elem_size=4)
+        assert arr.nbytes({}) == 400
+
+    def test_bad_shapes(self):
+        with pytest.raises(IRError):
+            ArrayDecl("x", ())
+        with pytest.raises(IRError):
+            ArrayDecl("x", (0,))
+        with pytest.raises(IRError):
+            ArrayDecl("x", (3.5,))  # type: ignore[arg-type]
+
+    def test_index_data_must_be_1d(self):
+        with pytest.raises(IRError):
+            ArrayDecl("b", (2, 2), data=np.zeros(4))
+
+
+class TestNodes:
+    def test_ref_arity_checked(self):
+        arr = ArrayDecl("c", (10, 10))
+        with pytest.raises(IRError):
+            ArrayRef(arr, (Const(1),))
+
+    def test_loop_requires_positive_step(self):
+        with pytest.raises(IRError):
+            Loop("i", 0, 10, [], step=0)
+        with pytest.raises(IRError):
+            Loop("i", 0, 10, [], step=-1)
+
+    def test_negative_work_cost_rejected(self):
+        with pytest.raises(IRError):
+            Work([], cost_us=-1.0)
+
+    def test_hint_requires_targets(self):
+        arr = ArrayDecl("x", (10,))
+        with pytest.raises(IRError):
+            Hint(HintKind.PREFETCH, None)
+        with pytest.raises(IRError):
+            Hint(HintKind.PREFETCH_RELEASE, AddrOf(arr, (Const(0),)))
+
+    def test_release_shorthand(self):
+        arr = ArrayDecl("x", (10,))
+        h = Hint(HintKind.RELEASE, AddrOf(arr, (Const(0),)))
+        assert h.release_target is not None
+        assert h.target is None
+
+    def test_cmp(self):
+        assert Cmp(Var("n"), ">", 4).eval({"n": 5})
+        assert not Cmp(Var("n"), "<=", 4).eval({"n": 5})
+        with pytest.raises(IRError):
+            Cmp(Var("n"), "~", 4)
+
+    def test_duplicate_array_names_rejected(self):
+        a1 = ArrayDecl("x", (10,))
+        a2 = ArrayDecl("x", (20,))
+        with pytest.raises(IRError):
+            Program("p", [a1, a2], [])
+
+
+class TestValidation:
+    def _program(self, body, arrays=None, params=None):
+        return Program("p", arrays or [], body, params=params or {})
+
+    def test_valid_nest(self):
+        arr = ArrayDecl("x", (100,))
+        prog = self._program(
+            [loop("i", 0, 100, [work([read(arr, Var("i"))], 1.0)])], [arr]
+        )
+        validate_program(prog)
+
+    def test_unbound_loop_var_in_ref(self):
+        arr = ArrayDecl("x", (100,))
+        prog = self._program([work([read(arr, Var("i"))], 1.0)], [arr])
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_undeclared_array(self):
+        arr = ArrayDecl("x", (100,))
+        prog = self._program([work([read(arr, Const(0))], 1.0)], [])
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_shadowed_loop_var(self):
+        prog = self._program([loop("i", 0, 2, [loop("i", 0, 2, [])])])
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_symbolic_dim_must_be_param(self):
+        arr = ArrayDecl("x", ("N",))
+        prog = self._program([], [arr])
+        with pytest.raises(IRError):
+            validate_program(prog)
+
+    def test_symbolic_dim_with_param_ok(self):
+        arr = ArrayDecl("x", ("N",))
+        prog = self._program([], [arr], params={"N": 10})
+        validate_program(prog)
+
+
+class TestVisitors:
+    def _nest(self):
+        arr = ArrayDecl("x", (100, 100))
+        inner = loop("j", 0, 10, [work([read(arr, Var("i"), Var("j"))], 1.0)])
+        outer = loop("i", 0, 10, [inner])
+        return arr, outer
+
+    def test_walk_refs_paths(self):
+        arr, outer = self._nest()
+        entries = list(walk_refs([outer]))
+        assert len(entries) == 1
+        ref, _, path = entries[0]
+        assert [lp.var for lp in path] == ["i", "j"]
+
+    def test_walk_loops_order(self):
+        _, outer = self._nest()
+        assert [lp.var for lp in walk_loops([outer])] == ["i", "j"]
+
+    def test_transform_preserves_loop_id(self):
+        _, outer = self._nest()
+        new = transform_stmts([outer], lambda s: [s])
+        assert isinstance(new[0], Loop)
+        assert new[0].loop_id == outer.loop_id
+        assert new[0] is not outer  # rebuilt, not mutated
+
+    def test_transform_replacement(self):
+        _, outer = self._nest()
+
+        def drop_works(stmt):
+            return [] if isinstance(stmt, Work) else [stmt]
+
+        new = transform_stmts([outer], drop_works)
+        assert count_stmts(new) == 2  # two loops, no work
+
+    def test_walk_hints(self):
+        arr = ArrayDecl("x", (100,))
+        h = Hint(HintKind.PREFETCH, AddrOf(arr, (Const(0),)), 4)
+        body = [loop("i", 0, 2, [h])]
+        assert list(walk_hints(body)) == [h]
+
+
+class TestPrinter:
+    def test_figure2_style_output(self):
+        b = ProgramBuilder("fig2a")
+        i, j = Var("i"), Var("j")
+        bdata = np.zeros(100_000, dtype=np.int64)
+        a = b.array("a", (100_000,), elem_size=4)
+        barr = b.array("b", (100_000,), elem_size=4, data=bdata)
+        c = b.array("c", (100_000, 100), elem_size=4)
+        b.append(
+            loop("i", 0, 100_000, [
+                loop("j", 0, 100, [
+                    work(
+                        [read(barr, i), read(c, i, j), write(a, ElemOf(barr, i))],
+                        2.0,
+                        text="a[b[i]] += c[i][j] * b[i];",
+                    ),
+                ]),
+            ])
+        )
+        text = format_program(b.build())
+        assert "for (i = 0; i < 100000; i++) {" in text
+        assert "for (j = 0; j < 100; j++) {" in text
+        assert "a[b[i]] += c[i][j] * b[i];" in text
+        assert "int a[100000];" in text
+
+    def test_hint_rendering(self):
+        arr = ArrayDecl("x", (1000,))
+        prog = Program("p", [arr], [
+            Hint(HintKind.PREFETCH, AddrOf(arr, (Const(0),)), 4),
+            Hint(HintKind.PREFETCH, AddrOf(arr, (Var("i"),)), 1),
+            Hint(
+                HintKind.PREFETCH_RELEASE,
+                AddrOf(arr, (Var("i") + 512,)),
+                4,
+                release_target=AddrOf(arr, (Var("i") - 512,)),
+                release_npages=4,
+            ),
+        ], params={"i": 0})
+        text = format_program(prog, include_decls=False)
+        assert "prefetch_block(&x[0], 4);" in text
+        assert "prefetch(&x[i]);" in text
+        assert "prefetch_release_block(&x[i + 512], &x[i - 512], 4);" in text
+
+    def test_if_rendering(self):
+        prog = Program("p", [], [
+            If(Cmp(Var("N"), ">", 512), [], [])
+        ], params={"N": 1})
+        text = format_program(prog, include_decls=False)
+        assert "if (N > 512) {" in text

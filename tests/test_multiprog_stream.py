@@ -1,0 +1,89 @@
+"""Unit tests for the per-process event streams."""
+
+import pytest
+
+from repro.apps import synthetic
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.multiprog.stream import ProcessStream
+from repro.storage.array_ctl import DiskArray
+from repro.vm.page_table import AddressSpace
+
+CFG = PlatformConfig(memory_pages=128)
+
+
+def make_stream(program, name="p0"):
+    space = AddressSpace(CFG.page_size)
+    disks = DiskArray(CFG)
+    return ProcessStream(program, space, CFG.page_size, name,
+                         disks.register_segment)
+
+
+class TestStreamContents:
+    def test_stream_yields_page_events(self):
+        stream = make_stream(synthetic.stream(4 * 512, cost_us=2.0))
+        events = list(stream.events())
+        accesses = [e for e in events if e[0] == "event" and e[1] <= 1]
+        pages = {e[2] for e in accesses}
+        assert len(pages) == 4  # one event per page after collapsing
+
+    def test_compute_total_preserved(self):
+        n = 3 * 512
+        stream = make_stream(synthetic.stream(n, cost_us=2.0))
+        total = 0.0
+        for ev in stream.events():
+            if ev[0] == "compute":
+                total += ev[1]
+            elif ev[0] == "event":
+                total += ev[3]
+        assert total == pytest.approx(n * 2.0)
+
+    def test_compiled_program_yields_hints(self):
+        program = synthetic.stream(120_000, cost_us=8.0)
+        compiled = insert_prefetches(
+            program, CompilerOptions.from_platform(CFG)
+        ).program
+        stream = make_stream(compiled)
+        kinds = {e[0] for e in stream.events()}
+        assert "prefetch" in kinds or "prefetch_release" in kinds
+
+    def test_indirect_program_yields_single_page_prefetch_events(self):
+        program = synthetic.gather(30_000, 120_000, cost_us=8.0)
+        compiled = insert_prefetches(
+            program, CompilerOptions.from_platform(CFG)
+        ).program
+        stream = make_stream(compiled)
+        prefetch_events = [
+            e for e in stream.events() if e[0] == "event" and e[1] == 2
+        ]
+        assert prefetch_events
+
+    def test_two_streams_share_space_without_collision(self):
+        space = AddressSpace(CFG.page_size)
+        disks = DiskArray(CFG)
+        s1 = ProcessStream(synthetic.stream(2048, name="a"), space,
+                           CFG.page_size, "p0", disks.register_segment)
+        s2 = ProcessStream(synthetic.stream(2048, name="a"), space,
+                           CFG.page_size, "p1", disks.register_segment)
+        pages1 = {e[2] for e in s1.events() if e[0] == "event"}
+        pages2 = {e[2] for e in s2.events() if e[0] == "event"}
+        assert pages1.isdisjoint(pages2)
+
+    def test_hint_resolution_clamps(self):
+        """Hints from the scalar path arrive pre-clamped to the segment."""
+        program = synthetic.stream(120_000, cost_us=8.0)
+        compiled = insert_prefetches(
+            program, CompilerOptions.from_platform(CFG)
+        ).program
+        stream = make_stream(compiled)
+        seg_base, seg_bytes = stream._segments["x"]
+        first = seg_base // CFG.page_size
+        last = (seg_base + seg_bytes - 1) // CFG.page_size
+        for ev in stream.events():
+            if ev[0] == "prefetch":
+                assert first <= ev[1] <= last
+                assert ev[1] + ev[2] - 1 <= last
+            elif ev[0] == "prefetch_release":
+                assert first <= ev[1] and ev[1] + ev[2] - 1 <= last
+                assert all(first <= v <= last for v in ev[3])

@@ -1,0 +1,76 @@
+"""Tests for CompilerOptions validation and platform derivation."""
+
+import pytest
+
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        CompilerOptions()
+
+    @pytest.mark.parametrize("field,value", [
+        ("page_size", 0),
+        ("block_pages", 0),
+        ("fault_latency_us", 0.0),
+        ("min_distance_strips", 0),
+        ("max_indirect_distance", 0),
+        ("assumed_symbolic_trip", 0),
+    ])
+    def test_positive_fields(self, field, value):
+        with pytest.raises(ConfigError):
+            CompilerOptions(**{field: value})
+
+    def test_distance_ordering(self):
+        with pytest.raises(ConfigError):
+            CompilerOptions(min_distance_strips=4, max_distance_strips=2)
+
+    def test_release_policy_values(self):
+        for policy in ("none", "streaming", "aggressive"):
+            CompilerOptions(release_policy=policy)
+        with pytest.raises(ConfigError):
+            CompilerOptions(release_policy="sometimes")
+
+
+class TestFromPlatform:
+    def test_inherits_page_and_block(self):
+        platform = PlatformConfig(prefetch_block_pages=8)
+        opts = CompilerOptions.from_platform(platform)
+        assert opts.page_size == platform.page_size
+        assert opts.block_pages == 8
+
+    def test_latency_from_platform(self):
+        platform = PlatformConfig()
+        opts = CompilerOptions.from_platform(platform)
+        assert opts.fault_latency_us == pytest.approx(
+            platform.average_fault_latency_us()
+        )
+
+    def test_effective_memory_scales(self):
+        big = CompilerOptions.from_platform(PlatformConfig(memory_pages=2048))
+        small = CompilerOptions.from_platform(PlatformConfig(memory_pages=128))
+        assert big.effective_memory_bytes > small.effective_memory_bytes
+
+    def test_effective_memory_floor(self):
+        tiny = CompilerOptions.from_platform(PlatformConfig(memory_pages=8))
+        assert tiny.effective_memory_bytes == 16 * 4096
+
+    def test_overrides_win(self):
+        opts = CompilerOptions.from_platform(
+            PlatformConfig(), block_pages=2, release_policy="none"
+        )
+        assert opts.block_pages == 2
+        assert opts.release_policy == "none"
+
+    def test_scaled_copy(self):
+        opts = CompilerOptions()
+        other = opts.scaled(max_distance_strips=16)
+        assert other.max_distance_strips == 16
+        assert opts.max_distance_strips == 8
+
+    def test_dsm_platform_shortens_distance_inputs(self):
+        disk = CompilerOptions.from_platform(PlatformConfig())
+        dsm = CompilerOptions.from_platform(PlatformConfig.dsm())
+        assert dsm.fault_latency_us < disk.fault_latency_us

@@ -1,0 +1,136 @@
+"""Tests for the OS sequential-readahead baseline (paper Section 5)."""
+
+import pytest
+
+from repro.apps import synthetic
+from repro.apps.registry import get_app
+from repro.config import PlatformConfig
+from repro.harness.experiment import compare_app, run_variant
+from repro.machine.machine import Machine
+from repro.vm.page import PageState
+
+CFG = PlatformConfig(memory_pages=128)
+
+
+def ra_machine(frames=64):
+    cfg = PlatformConfig(memory_pages=frames, available_fraction=1.0, num_disks=2)
+    m = Machine(cfg, prefetching=False, os_readahead=True)
+    m.map_segment("x", 500 * cfg.page_size)
+    m.map_segment("y", 500 * cfg.page_size)
+    return m
+
+
+def base(machine, name="x"):
+    return machine.address_space.segment(name).base // machine.config.page_size
+
+
+class TestReadaheadHeuristic:
+    def test_first_fault_triggers_nothing(self):
+        m = ra_machine()
+        m.access(base(m), False)
+        assert m.stats.prefetch.readahead_pages == 0
+
+    def test_second_sequential_fault_opens_window(self):
+        m = ra_machine()
+        m.access(base(m), False)
+        m.access(base(m) + 1, False)
+        assert m.stats.prefetch.readahead_pages >= 1
+
+    def test_window_doubles_with_run_length(self):
+        m = ra_machine()
+        b = base(m)
+        m.access(b, False)
+        m.access(b + 1, False)
+        after_one = m.stats.prefetch.readahead_pages
+        # The next *fault* lands past the first window; walk until one.
+        v = b + 2
+        while m.stats.prefetch.readahead_pages == after_one and v < b + 40:
+            m.access(v, False)
+            v += 1
+        assert m.stats.prefetch.readahead_pages > after_one
+
+    def test_random_faults_never_trigger(self):
+        m = ra_machine()
+        b = base(m)
+        for offset in (0, 17, 3, 250, 90, 44):
+            m.access(b + offset, False)
+        assert m.stats.prefetch.readahead_pages == 0
+
+    def test_backward_sweep_defeats_readahead(self):
+        """The paper's point: pattern detection misses non-forward runs."""
+        m = ra_machine()
+        b = base(m)
+        for offset in range(60, 0, -1):
+            m.access(b + offset, False)
+        assert m.stats.prefetch.readahead_pages == 0
+
+    def test_streams_tracked_per_segment(self):
+        """Interleaving two sequential segments must not break detection."""
+        m = ra_machine()
+        bx, by = base(m, "x"), base(m, "y")
+        for k in range(4):
+            m.access(bx + k, False)
+            m.access(by + k, False)
+        assert m.stats.prefetch.readahead_pages > 0
+
+    def test_readahead_pages_become_hits(self):
+        m = ra_machine()
+        b = base(m)
+        m.access(b, False)
+        m.access(b + 1, False)  # readahead starts
+        m.compute(1_000_000.0)  # let the reads land
+        hits_before = m.stats.faults.prefetched_hit
+        m.access(b + 2, False)
+        assert m.stats.faults.prefetched_hit == hits_before + 1
+
+    def test_readahead_never_evicts(self):
+        m = ra_machine(frames=4)
+        b = base(m)
+        for k in range(4):
+            m.access(b + k, False)
+        evictions_before = m.stats.memory.evictions
+        # Window wants frames, but the daemon target for 4 frames is 0:
+        # whatever is free limits it; no evictions on behalf of readahead.
+        m.access(b + 4, False)
+        assert m.stats.memory.evictions <= evictions_before + 2
+
+    def test_disabled_by_default(self):
+        cfg = PlatformConfig(memory_pages=64, available_fraction=1.0, num_disks=2)
+        m = Machine(cfg, prefetching=False)
+        m.map_segment("x", 100 * cfg.page_size)
+        b = base(m)
+        for k in range(10):
+            m.access(b + k, False)
+        assert m.stats.prefetch.readahead_pages == 0
+
+
+class TestReadaheadEndToEnd:
+    def test_helps_sequential_streams(self):
+        program = synthetic.stream(2 * CFG.available_frames * 512, cost_us=10.0)
+        plain = run_variant(program, CFG, prefetching=False)
+        ra = run_variant(program, CFG, prefetching=False, os_readahead=True)
+        assert ra.elapsed_us < plain.elapsed_us
+
+    def test_useless_for_gathers(self):
+        """Indirect access patterns never establish a run."""
+        program = synthetic.gather(20_000, 4 * CFG.available_frames * 512 // 4,
+                                   cost_us=20.0)
+        plain = run_variant(program, CFG, prefetching=False)
+        ra = run_variant(program, CFG, prefetching=False, os_readahead=True)
+        assert ra.elapsed_us >= plain.elapsed_us * 0.9  # no real win
+
+    def test_compiler_prefetching_beats_readahead(self):
+        """The paper's thesis versus its Section 5 alternatives."""
+        result = compare_app(get_app("EMBAR"), CFG, include_readahead=True)
+        ra = result.extras["O-readahead"].stats
+        assert result.prefetch.elapsed_us < ra.elapsed_us
+
+    def test_readahead_beats_nothing_on_applu_reverse(self):
+        """Half of APPLU runs backward: readahead covers at most half."""
+        result = compare_app(get_app("APPLU"), CFG, include_readahead=True)
+        ra = result.extras["O-readahead"].stats
+        o = result.original.stats
+        p = result.prefetch.stats
+        # Readahead helps some (the forward sweep) but far less than the
+        # compiler, which understands the reversed indices too.
+        assert p.elapsed_us < ra.elapsed_us <= o.elapsed_us * 1.02

@@ -1,0 +1,122 @@
+"""Tests for the simulated clock and the statistics containers."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.sim.clock import Clock, TimeCategory
+from repro.sim.stats import (
+    DiskStats,
+    FaultStats,
+    MemoryStats,
+    PrefetchStats,
+    TimeBreakdown,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance_accumulates_per_category(self):
+        clock = Clock()
+        clock.advance(10.0, TimeCategory.USER_COMPUTE)
+        clock.advance(5.0, TimeCategory.SYS_FAULT)
+        clock.advance(2.5, TimeCategory.USER_COMPUTE)
+        assert clock.now == 17.5
+        assert clock.spent(TimeCategory.USER_COMPUTE) == 12.5
+        assert clock.spent(TimeCategory.SYS_FAULT) == 5.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(MachineError):
+            Clock().advance(-1.0, TimeCategory.USER_COMPUTE)
+
+    def test_zero_advance_is_noop(self):
+        clock = Clock()
+        clock.advance(0.0, TimeCategory.USER_COMPUTE)
+        assert clock.now == 0.0
+
+    def test_wait_until_future(self):
+        clock = Clock()
+        waited = clock.wait_until(100.0, TimeCategory.STALL_READ)
+        assert waited == 100.0
+        assert clock.now == 100.0
+        assert clock.stall_time() == 100.0
+
+    def test_wait_until_past_is_noop(self):
+        clock = Clock()
+        clock.advance(50.0, TimeCategory.USER_COMPUTE)
+        waited = clock.wait_until(20.0, TimeCategory.STALL_READ)
+        assert waited == 0.0
+        assert clock.now == 50.0
+
+    def test_busy_vs_stall_partition(self):
+        clock = Clock()
+        clock.advance(10.0, TimeCategory.USER_COMPUTE)
+        clock.advance(3.0, TimeCategory.SYS_PREFETCH)
+        clock.wait_until(20.0, TimeCategory.STALL_READ)
+        assert clock.busy_time() == 13.0
+        assert clock.stall_time() == 7.0
+        assert clock.busy_time() + clock.stall_time() == pytest.approx(clock.now)
+
+
+class TestTimeBreakdown:
+    def test_from_clock(self):
+        clock = Clock()
+        clock.advance(4.0, TimeCategory.USER_COMPUTE)
+        clock.advance(1.0, TimeCategory.USER_OVERHEAD)
+        clock.advance(2.0, TimeCategory.SYS_FAULT)
+        clock.wait_until(10.0, TimeCategory.STALL_FLUSH)
+        b = TimeBreakdown.from_clock(clock)
+        assert b.user == 5.0
+        assert b.system == 2.0
+        assert b.idle == 3.0
+        assert b.total == pytest.approx(clock.now)
+
+
+class TestFaultStats:
+    def test_coverage(self):
+        f = FaultStats(prefetched_hit=75, prefetched_fault=5, nonprefetched_fault=20)
+        assert f.coverage == pytest.approx(0.8)
+        assert f.total_faults == 100
+        assert f.actual_faults == 25
+
+    def test_coverage_no_faults(self):
+        assert FaultStats().coverage == 0.0
+
+
+class TestPrefetchStats:
+    def test_unnecessary_fraction(self):
+        p = PrefetchStats(compiler_inserted=100, filtered=90, unnecessary_issued=6)
+        assert p.unnecessary_fraction == pytest.approx(0.96)
+
+    def test_issued_useful_fraction(self):
+        p = PrefetchStats(issued_pages=10, disk_reads=7, reclaimed=2)
+        assert p.issued_useful_fraction == pytest.approx(0.9)
+
+    def test_zero_division_guards(self):
+        p = PrefetchStats()
+        assert p.unnecessary_fraction == 0.0
+        assert p.issued_useful_fraction == 0.0
+
+
+class TestDiskStats:
+    def test_utilization(self):
+        d = DiskStats(busy_us=[50.0, 100.0])
+        assert d.utilization(100.0) == pytest.approx(0.75)
+
+    def test_utilization_guards(self):
+        assert DiskStats().utilization(100.0) == 0.0
+        assert DiskStats(busy_us=[1.0]).utilization(0.0) == 0.0
+
+    def test_total_requests(self):
+        d = DiskStats(reads_fault=3, reads_prefetch=4, writes=5)
+        assert d.total_requests == 12
+
+
+class TestMemoryStats:
+    def test_avg_free_fraction(self):
+        m = MemoryStats(frames_total=10, free_integral=500.0)
+        assert m.avg_free_fraction(100.0) == pytest.approx(0.5)
+
+    def test_avg_free_guards(self):
+        assert MemoryStats().avg_free_fraction(10.0) == 0.0

@@ -1,0 +1,190 @@
+"""Tests for the disk subsystem: disks, striping, extents, the array."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import DiskParameters, PlatformConfig
+from repro.errors import MachineError
+from repro.storage.array_ctl import DiskArray, IOKind
+from repro.storage.disk import Disk
+from repro.storage.extent import ExtentLayout
+from repro.storage.striping import RoundRobinStripe
+
+
+class TestDisk:
+    def _disk(self):
+        return Disk(0, DiskParameters())
+
+    def test_first_access_is_random(self):
+        disk = self._disk()
+        done = disk.submit(0.0, block=10)
+        assert done == pytest.approx(DiskParameters().random_service_us(1))
+        assert disk.random_count == 1
+
+    def test_consecutive_block_is_sequential(self):
+        disk = self._disk()
+        disk.submit(0.0, block=10)
+        t1 = disk.busy_until
+        done = disk.submit(0.0, block=11)
+        assert done == pytest.approx(t1 + DiskParameters().sequential_service_us(1))
+        assert disk.sequential_count == 1
+
+    def test_backward_block_is_near(self):
+        disk = self._disk()
+        disk.submit(0.0, block=10)
+        disk.submit(0.0, block=9)
+        assert disk.random_count == 1
+        assert disk.near_count == 1
+
+    def test_far_jump_is_random(self):
+        disk = self._disk()
+        disk.submit(0.0, block=10)
+        disk.submit(0.0, block=10_000)
+        assert disk.random_count == 2
+
+    def test_near_service_between_seq_and_random(self):
+        params = DiskParameters()
+        assert (params.sequential_service_us(1)
+                < params.near_service_us(1)
+                < params.random_service_us(1))
+
+    def test_fifo_queueing(self):
+        disk = self._disk()
+        first = disk.submit(0.0, block=0)
+        second = disk.submit(0.0, block=100)
+        assert second > first  # queued behind the first request
+
+    def test_idle_gap_starts_at_issue_time(self):
+        disk = self._disk()
+        done = disk.submit(1_000_000.0, block=0)
+        assert done == pytest.approx(1_000_000.0 + DiskParameters().random_service_us(1))
+
+    def test_multipage_request(self):
+        disk = self._disk()
+        done = disk.submit(0.0, block=0, npages=4)
+        assert done == pytest.approx(DiskParameters().random_service_us(4))
+        # Next block after the run is sequential.
+        disk.submit(0.0, block=4)
+        assert disk.sequential_count == 1
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(MachineError):
+            self._disk().submit(0.0, block=0, npages=0)
+
+    def test_busy_accounting(self):
+        disk = self._disk()
+        disk.submit(0.0, block=0)
+        disk.submit(0.0, block=50)  # within the near window
+        params = DiskParameters()
+        assert disk.busy_us == pytest.approx(
+            params.random_service_us(1) + params.near_service_us(1)
+        )
+
+
+class TestStriping:
+    def test_round_robin(self):
+        stripe = RoundRobinStripe(7)
+        assert [stripe.disk_of(p) for p in range(8)] == [0, 1, 2, 3, 4, 5, 6, 0]
+        assert stripe.block_of(7) == 1
+
+    def test_locate(self):
+        stripe = RoundRobinStripe(4)
+        assert stripe.locate(10) == (2, 2)
+
+    @given(st.integers(1, 16), st.integers(0, 1000), st.integers(1, 64))
+    def test_split_run_covers_every_page_once(self, ndisks, start, npages):
+        stripe = RoundRobinStripe(ndisks)
+        requests = stripe.split_run(start, npages)
+        covered = []
+        for disk, block0, count in requests:
+            for k in range(count):
+                # Invert the mapping: page = block * D + disk.
+                covered.append((block0 + k) * ndisks + disk)
+        assert sorted(covered) == list(range(start, start + npages))
+
+    @given(st.integers(1, 16), st.integers(0, 1000), st.integers(1, 64))
+    def test_split_run_at_most_one_request_per_disk(self, ndisks, start, npages):
+        stripe = RoundRobinStripe(ndisks)
+        requests = stripe.split_run(start, npages)
+        disks = [d for d, _, _ in requests]
+        assert len(disks) == len(set(disks))
+
+
+class TestExtentLayout:
+    def test_register_and_locate(self):
+        layout = ExtentLayout(num_disks=2)
+        layout.register("a", base_vpage=10, npages=6)
+        # Page 10 -> offset 0 -> disk 0 block 0; page 11 -> disk 1 block 0.
+        assert layout.locate(10) == (0, 0)
+        assert layout.locate(11) == (1, 0)
+        assert layout.locate(12) == (0, 1)
+
+    def test_disjoint_block_ranges(self):
+        layout = ExtentLayout(num_disks=2)
+        layout.register("a", base_vpage=0, npages=4)
+        layout.register("b", base_vpage=100, npages=4)
+        _, block_a = layout.locate(0)
+        _, block_b = layout.locate(100)
+        assert block_b > block_a  # second extent starts past the first
+
+    def test_overlapping_extents_rejected(self):
+        layout = ExtentLayout(num_disks=2)
+        layout.register("a", base_vpage=0, npages=10)
+        with pytest.raises(MachineError):
+            layout.register("b", base_vpage=5, npages=10)
+
+    def test_unbacked_page_rejected(self):
+        layout = ExtentLayout(num_disks=2)
+        with pytest.raises(MachineError):
+            layout.locate(3)
+
+    def test_split_run_must_stay_in_extent(self):
+        layout = ExtentLayout(num_disks=2)
+        layout.register("a", base_vpage=0, npages=4)
+        with pytest.raises(MachineError):
+            layout.split_run(2, 5)
+
+
+class TestDiskArray:
+    def _array(self, ndisks=7):
+        cfg = PlatformConfig(num_disks=ndisks)
+        array = DiskArray(cfg)
+        array.register_segment("x", base_vpage=1, npages=100)
+        return array
+
+    def test_read_counts_by_kind(self):
+        array = self._array()
+        array.read_page(1, 0.0, IOKind.FAULT)
+        array.read_page(2, 0.0, IOKind.PREFETCH)
+        array.write_page(3, 0.0)
+        stats = array.snapshot_stats()
+        assert stats.reads_fault == 1
+        assert stats.reads_prefetch == 1
+        assert stats.writes == 1
+
+    def test_read_run_returns_every_page(self):
+        array = self._array()
+        completions = array.read_run(1, 8, 0.0, IOKind.PREFETCH)
+        assert sorted(v for v, _ in completions) == list(range(1, 9))
+
+    def test_read_run_parallelism(self):
+        """A run across N disks finishes in about one service time."""
+        array = self._array(ndisks=7)
+        completions = array.read_run(1, 7, 0.0, IOKind.PREFETCH)
+        times = {t for _, t in completions}
+        one_random = PlatformConfig().disk.random_service_us(1)
+        assert max(times) == pytest.approx(one_random)
+
+    def test_drain_time_tracks_latest(self):
+        array = self._array()
+        done = array.write_page(1, 0.0)
+        assert array.drain_time() == pytest.approx(done)
+
+    def test_sequential_stream_detected(self):
+        array = self._array(ndisks=2)
+        for vpage in range(1, 21):
+            array.read_page(vpage, 0.0, IOKind.FAULT)
+        stats = array.snapshot_stats()
+        # After the first touch per disk, everything is sequential.
+        assert stats.sequential == 18
+        assert stats.random == 2

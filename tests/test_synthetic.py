@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload builders."""
+
+import pytest
+
+from repro.apps import synthetic
+from repro.config import PlatformConfig
+from repro.core.analysis.planner import PlanKind, plan_program
+from repro.core.ir.validate import validate_program
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.errors import IRError
+from repro.harness.experiment import run_variant
+from repro.interp.pagetrace import page_trace
+from repro.interp.tracing import access_trace
+
+CFG = PlatformConfig(memory_pages=128)
+OPTS = CompilerOptions.from_platform(CFG)
+
+BUILDERS = [
+    lambda: synthetic.stream(60_000),
+    lambda: synthetic.repeated_sweep(60_000, sweeps=2),
+    lambda: synthetic.strided(60_000, stride=1024),
+    lambda: synthetic.stencil1d(60_000, radius=2),
+    lambda: synthetic.gather(30_000, 60_000),
+    lambda: synthetic.scatter(30_000, 60_000),
+    lambda: synthetic.random_walk(30_000, 60_000),
+]
+
+
+@pytest.mark.parametrize("build", BUILDERS, ids=lambda b: "case")
+class TestAllBuilders:
+    def test_validates(self, build):
+        validate_program(build())
+
+    def test_trace_equivalence_under_pass(self, build):
+        program = build()
+        result = insert_prefetches(program, OPTS)
+        limit = 2_000_000
+        assert access_trace(program, limit=limit) == access_trace(
+            result.program, limit=limit
+        )
+
+    def test_runs_end_to_end(self, build):
+        program = build()
+        compiled = insert_prefetches(program, OPTS)
+        o = run_variant(program, CFG, prefetching=False)
+        p = run_variant(compiled.program, CFG, prefetching=True)
+        assert o.elapsed_us > 0 and p.elapsed_us > 0
+
+
+class TestPatternSignatures:
+    def test_stream_is_single_dense_stream(self):
+        plan = plan_program(synthetic.stream(100_000), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert len(dense) == 1 and dense[0].release
+
+    def test_sweep_has_no_release(self):
+        plan = plan_program(synthetic.repeated_sweep(100_000, 3), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert dense and not any(p.release for p in dense)
+
+    def test_strided_touches_one_page_per_iteration(self):
+        plan = plan_program(synthetic.strided(400_000, stride=4096), OPTS)
+        dense = [p for p in plan.plans if p.kind is PlanKind.DENSE]
+        assert dense[0].pages_per_hint == 1
+        assert dense[0].strip_iters == 1
+
+    def test_stencil_groups(self):
+        plan = plan_program(synthetic.stencil1d(100_000, radius=3), OPTS)
+        covered = [p for p in plan.plans if p.kind is PlanKind.COVERED]
+        assert len(covered) == 6  # 7-wide window: one leader
+
+    def test_gather_is_indirect(self):
+        plan = plan_program(synthetic.gather(50_000, 100_000), OPTS)
+        assert any(p.kind is PlanKind.INDIRECT for p in plan.plans)
+
+    def test_gather_prefetching_helps_out_of_core_table(self):
+        program = synthetic.gather(20_000, 80_000, cost_us=300.0)
+        compiled = insert_prefetches(program, OPTS)
+        o = run_variant(program, CFG, prefetching=False)
+        p = run_variant(compiled.program, CFG, prefetching=True)
+        # Indirect prefetching at high compute density hides the gather.
+        assert p.elapsed_us < o.elapsed_us
+
+    def test_scatter_marks_pages_dirty(self):
+        program = synthetic.scatter(5_000, 4_000)
+        o = run_variant(program, CFG, prefetching=False)
+        assert o.disk.writes > 0
+
+    def test_walk_footprint_bounded(self):
+        program = synthetic.random_walk(20_000, 8 * 512)
+        trace = page_trace(program, limit=2_000_000)
+        heap_pages = {p for p in trace}
+        assert len(heap_pages) <= 8 + 40 + 2  # heap + path pages + guards
+
+    def test_deterministic_by_seed(self):
+        a = synthetic.gather(1_000, 5_000, seed=3)
+        b = synthetic.gather(1_000, 5_000, seed=3)
+        c = synthetic.gather(1_000, 5_000, seed=4)
+        assert access_trace(a) == access_trace(b)
+        assert access_trace(a) != access_trace(c)
+
+
+class TestValidation:
+    def test_bad_stride(self):
+        with pytest.raises(IRError):
+            synthetic.strided(100, stride=0)
+        with pytest.raises(IRError):
+            synthetic.strided(100, stride=100)
+
+    def test_bad_radius(self):
+        with pytest.raises(IRError):
+            synthetic.stencil1d(100, radius=0)
+
+    def test_bad_sweeps(self):
+        with pytest.raises(IRError):
+            synthetic.repeated_sweep(100, sweeps=0)

@@ -1,0 +1,273 @@
+"""Tests for the transforms: substitution, strip mining, pipelining, pass.
+
+The central property lives here: the transformed program performs exactly
+the same data accesses as the original (hints are non-binding).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ir.builder import ProgramBuilder, loop, read, work, write
+from repro.core.ir.expr import Affine, Const, ElemOf, MinExpr, Var
+from repro.core.ir.nodes import Hint, HintKind, If, Loop, Work
+from repro.core.ir.printer import format_program
+from repro.core.ir.validate import validate_program
+from repro.core.ir.visit import walk_hints
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.core.transform.stripmine import strip_mine
+from repro.core.transform.subst import chain_lowers, subst_expr
+from repro.errors import IRError
+from repro.interp.tracing import access_trace
+
+OPTS = CompilerOptions()
+
+
+class TestSubst:
+    def test_var_replaced(self):
+        e = subst_expr(Var("i"), {"i": Var("k") + 3})
+        assert e.eval({"k": 10}) == 13
+
+    def test_affine_substitution(self):
+        e = subst_expr(2 * Var("i") + Var("j") + 1, {"i": Var("k") + 5})
+        assert e.eval({"k": 1, "j": 2}) == 15
+
+    def test_unmapped_vars_kept(self):
+        e = subst_expr(Var("i") + Var("j"), {"i": Const(0)})
+        assert e.free_vars() == {"j"}
+
+    def test_elemof_gets_clamped(self):
+        arr_data = np.arange(10)
+        from repro.core.ir.arrays import ArrayDecl
+
+        barr = ArrayDecl("b", (10,), data=arr_data)
+        e = subst_expr(ElemOf(barr, Var("i")), {"i": Var("i") + 64}, clamp_lookups=True)
+        assert e.eval({"i": 0}) == 9  # clamped to the last element
+
+    def test_min_and_ceildiv_recursed(self):
+        from repro.core.ir.expr import CeilDiv
+
+        e = subst_expr(MinExpr(Var("i"), CeilDiv(Var("i"), 4)), {"i": Const(8)})
+        assert e.eval({}) == 2
+
+    def test_chain_lowers_resolves_triangular(self):
+        lowers = {"j": Var("i"), "k": Var("j") + 1}
+        resolved = chain_lowers(lowers)
+        assert resolved["k"].free_vars() == {"i"}
+        assert resolved["k"].eval({"i": 5}) == 6
+
+
+class TestStripMine:
+    def _body_loop(self, n=100):
+        from repro.core.ir.arrays import ArrayDecl
+
+        arr = ArrayDecl("x", (10_000,), elem_size=8)
+        return loop("i", 0, n, [work([read(arr, Var("i"))], 1.0)])
+
+    def test_structure(self):
+        lp = self._body_loop(100)
+        nest = strip_mine(lp, [10], [[]])
+        assert nest.var == "i__s0"
+        assert nest.step == 10
+        inner = nest.body[-1]
+        assert isinstance(inner, Loop) and inner.var == "i"
+
+    def test_iteration_space_preserved(self):
+        lp = self._body_loop(103)  # deliberately ragged
+        nest = strip_mine(lp, [10], [[]])
+        seen = []
+
+        def run(stmts, env):
+            for s in stmts:
+                if isinstance(s, Loop):
+                    for v in range(s.lower.eval(env), s.upper.eval(env), s.step):
+                        env[s.var] = v
+                        run(s.body, env)
+                elif isinstance(s, Work):
+                    seen.append(env["i"])
+
+        run([nest], {})
+        assert seen == list(range(103))
+
+    def test_double_strip_iteration_space(self):
+        lp = self._body_loop(57)
+        nest = strip_mine(lp, [16, 4], [[], []])
+        seen = []
+
+        def run(stmts, env):
+            for s in stmts:
+                if isinstance(s, Loop):
+                    for v in range(s.lower.eval(env), s.upper.eval(env), s.step):
+                        env[s.var] = v
+                        run(s.body, env)
+                elif isinstance(s, Work):
+                    seen.append(env["i"])
+
+        run([nest], {})
+        assert seen == list(range(57))
+
+    def test_level_stmts_placed(self):
+        from repro.core.ir.arrays import ArrayDecl
+        from repro.core.ir.nodes import AddrOf
+
+        arr = ArrayDecl("x", (10_000,), elem_size=8)
+        marker = Hint(HintKind.PREFETCH, AddrOf(arr, (Const(0),)), 4)
+        nest = strip_mine(self._body_loop(), [10], [[marker]])
+        assert nest.body[0] is marker
+
+    def test_rejects_bad_strips(self):
+        lp = self._body_loop()
+        with pytest.raises(IRError):
+            strip_mine(lp, [], [])
+        with pytest.raises(IRError):
+            strip_mine(lp, [4, 16], [[], []])  # not descending
+        with pytest.raises(IRError):
+            strip_mine(lp, [0], [[]])
+
+    def test_step_multiple_enforced(self):
+        from repro.core.ir.arrays import ArrayDecl
+
+        arr = ArrayDecl("x", (10_000,), elem_size=8)
+        lp = loop("i", 0, 100, [work([read(arr, Var("i"))], 1.0)], step=3)
+        with pytest.raises(IRError):
+            strip_mine(lp, [10], [[]])  # 10 not a multiple of 3
+        nest = strip_mine(lp, [12], [[]])
+        assert nest.step == 12
+
+
+def _stream_program(n=60_000, cost=10.0):
+    b = ProgramBuilder("stream")
+    x = b.array("x", (n,), elem_size=8)
+    b.append(loop("i", 0, n, [work([read(x, Var("i")), write(x, Var("i"))], cost)]))
+    return b.build()
+
+
+def _fig2_program(n=5_000, m=10):
+    rng = np.random.default_rng(7)
+    b = ProgramBuilder("fig2")
+    i, j = Var("i"), Var("j")
+    bdata = rng.integers(0, 50_000, size=n + 100)
+    a = b.array("a", (50_000,), elem_size=8)
+    barr = b.array("b", (n + 100,), elem_size=8, data=bdata)
+    c = b.array("c", (n, m), elem_size=8)
+    b.append(
+        loop("i", 0, n, [
+            loop("j", 0, m, [work([read(c, i, j)], 2.0)]),
+            work([read(barr, i), write(a, ElemOf(barr, i))], 4.0),
+        ])
+    )
+    return b.build()
+
+
+class TestPass:
+    def test_transformed_program_validates(self):
+        res = insert_prefetches(_fig2_program(), OPTS)
+        validate_program(res.program)
+
+    def test_original_untouched(self):
+        prog = _fig2_program()
+        stmts_before = list(prog.body)
+        insert_prefetches(prog, OPTS)
+        assert prog.body == stmts_before
+        assert not list(walk_hints(prog.body))
+
+    def test_trace_equivalence_stream(self):
+        prog = _stream_program(n=20_000)
+        res = insert_prefetches(prog, OPTS)
+        assert access_trace(prog) == access_trace(res.program)
+
+    def test_trace_equivalence_fig2(self):
+        prog = _fig2_program(n=2_000)
+        res = insert_prefetches(prog, OPTS)
+        assert access_trace(prog) == access_trace(res.program)
+
+    def test_hints_present_in_output(self):
+        res = insert_prefetches(_stream_program(), OPTS)
+        hints = list(walk_hints(res.program.body))
+        kinds = {h.kind for h in hints}
+        assert HintKind.PREFETCH in kinds  # prolog
+        assert HintKind.PREFETCH_RELEASE in kinds  # steady state
+
+    def test_prolog_block_prefetch_first(self):
+        res = insert_prefetches(_stream_program(), OPTS)
+        first = res.program.body[0]
+        assert isinstance(first, Hint)
+        assert first.kind is HintKind.PREFETCH
+        assert first.npages.eval({}) == (
+            res.plan.dense_by_loop[next(iter(res.plan.dense_by_loop))][0].distance_strips
+            * OPTS.block_pages
+        )
+
+    def test_figure2_shape_of_output(self):
+        """The printed output has the landmarks of the paper's Figure 2(b)."""
+        res = insert_prefetches(_fig2_program(), OPTS)
+        text = format_program(res.program, include_decls=False)
+        assert "prefetch_block(" in text
+        assert "prefetch(&a[b[" in text  # indirect single-page prefetch
+        assert "i__s0" in text  # strip-mined control loop
+        assert "min(" in text  # ragged strip bound
+
+    def test_report_mentions_every_reference(self):
+        res = insert_prefetches(_fig2_program(), OPTS)
+        report = res.report()
+        for name in ("a", "b", "c"):
+            assert f"{name}:" in report
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        n=st.integers(2_000, 12_000),
+        m=st.integers(1, 10),
+        cost=st.floats(0.5, 50.0),
+        block=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_trace_equivalence_property(self, n, m, cost, block):
+        """Non-binding hints: for arbitrary nest shapes and compiler
+        settings, the transformation never changes the access stream."""
+        b = ProgramBuilder("prop")
+        i, j = Var("i"), Var("j")
+        c = b.array("c", (n, m), elem_size=8)
+        x = b.array("x", (n,), elem_size=8)
+        b.append(
+            loop("i", 0, n, [
+                loop("j", 0, m, [work([read(c, i, j)], cost)]),
+                work([read(x, i), write(x, i)], cost),
+            ])
+        )
+        prog = b.build()
+        opts = OPTS.scaled(block_pages=block)
+        res = insert_prefetches(prog, opts)
+        limit = 4 * n * (m + 2) + 16
+        assert access_trace(prog, limit=limit) == access_trace(res.program, limit=limit)
+
+
+class TestTwoVersion:
+    def _symbolic_program(self, n_runtime, rows=3_000):
+        b = ProgramBuilder(
+            "sym", params={"N": n_runtime}, compile_time_params={}
+        )
+        c = b.array("c", (20_000, "N"), elem_size=8)
+        i, j = Var("i"), Var("j")
+        b.append(loop("i", 0, rows, [
+            loop("j", 0, Var("N"), [work([read(c, i, j)], 2.0)]),
+        ]))
+        return b.build()
+
+    def test_two_version_emits_if(self):
+        prog = self._symbolic_program(5)
+        res = insert_prefetches(prog, OPTS.scaled(two_version_loops=True))
+        assert any(isinstance(s, If) for s in res.program.body)
+
+    def test_two_version_trace_equivalent(self):
+        for n, rows in ((5, 3_000), (700, 50)):
+            prog = self._symbolic_program(n, rows)
+            res = insert_prefetches(prog, OPTS.scaled(two_version_loops=True))
+            limit = rows * n * 2 + 16
+            assert access_trace(prog, limit=limit) == access_trace(
+                res.program, limit=limit
+            )
+
+    def test_single_version_without_flag(self):
+        prog = self._symbolic_program(5)
+        res = insert_prefetches(prog, OPTS)
+        assert not any(isinstance(s, If) for s in res.program.body)

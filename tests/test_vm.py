@@ -1,0 +1,373 @@
+"""Tests for the VM substrate: frames, clock ring, and the memory manager."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import PlatformConfig
+from repro.errors import MachineError
+from repro.sim.clock import Clock, TimeCategory
+from repro.sim.stats import RunStats
+from repro.storage.array_ctl import DiskArray
+from repro.vm.frames import FramePool
+from repro.vm.manager import AccessOutcome, MemoryManager
+from repro.vm.page import Page, PageState
+from repro.vm.page_table import AddressSpace
+from repro.vm.replacement import ClockRing
+
+
+class TestAddressSpace:
+    def test_segments_are_page_aligned_and_disjoint(self):
+        space = AddressSpace(4096)
+        a = space.map_segment("a", 10_000)
+        b = space.map_segment("b", 5_000)
+        assert a.base % 4096 == 0
+        assert b.base % 4096 == 0
+        assert b.base >= a.base + a.npages * 4096
+
+    def test_guard_page_between_segments(self):
+        space = AddressSpace(4096)
+        a = space.map_segment("a", 4096)
+        b = space.map_segment("b", 4096)
+        assert b.base - (a.base + a.nbytes) >= 4096
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace(4096)
+        space.map_segment("a", 100)
+        with pytest.raises(MachineError):
+            space.map_segment("a", 100)
+
+    def test_zero_page_never_mapped(self):
+        space = AddressSpace(4096)
+        seg = space.map_segment("a", 100)
+        assert seg.base >= 4096
+
+
+class TestFramePool:
+    def test_take_fresh_until_exhausted(self):
+        pool = FramePool(3)
+        assert pool.take_fresh()
+        assert pool.take_fresh()
+        assert pool.take_fresh()
+        assert not pool.take_fresh()
+        pool.check_invariant()
+
+    def test_freelist_reclaim(self):
+        pool = FramePool(2)
+        pool.take_fresh()
+        pool.add_to_freelist(42)
+        assert pool.reclaim(42)
+        assert not pool.reclaim(42)
+        pool.check_invariant()
+
+    def test_steal_is_fifo(self):
+        pool = FramePool(3)
+        for _ in range(3):
+            pool.take_fresh()
+        pool.add_to_freelist(1)
+        pool.add_to_freelist(2)
+        assert pool.steal_from_freelist() == 1
+        assert pool.steal_from_freelist() == 2
+        assert pool.steal_from_freelist() is None
+        pool.check_invariant()
+
+    def test_free_count(self):
+        pool = FramePool(4)
+        pool.take_fresh()
+        pool.take_fresh()
+        pool.add_to_freelist(7)
+        assert pool.free_count == 3  # 2 fresh + 1 freelist
+
+    def test_double_freelist_rejected(self):
+        pool = FramePool(2)
+        pool.take_fresh()
+        pool.add_to_freelist(7)
+        with pytest.raises(MachineError):
+            pool.add_to_freelist(7)
+
+    @given(st.lists(st.sampled_from(["take", "free", "steal", "surrender"]), max_size=50))
+    def test_frames_conserved_under_any_sequence(self, ops):
+        pool = FramePool(5)
+        next_page = 0
+        held = 0
+        for op in ops:
+            if op == "take":
+                if pool.take_fresh():
+                    held += 1
+            elif op == "free" and held:
+                pool.add_to_freelist(next_page)
+                next_page += 1
+                held -= 1
+            elif op == "steal":
+                if pool.steal_from_freelist() is not None:
+                    held += 1
+            elif op == "surrender" and held:
+                pool.surrender()
+                held -= 1
+            pool.check_invariant()
+
+
+class TestClockRing:
+    def _page(self, n):
+        page = Page(n)
+        page.state = PageState.RESIDENT
+        return page
+
+    def test_victim_is_oldest_unreferenced(self):
+        ring = ClockRing()
+        pages = [self._page(i) for i in range(3)]
+        for p in pages:
+            ring.insert(p)
+        # All inserted with ref bits set: first sweep clears, second evicts
+        # the first-inserted page.
+        victim = ring.select_victim()
+        assert victim is pages[0]
+
+    def test_referenced_page_survives_one_sweep(self):
+        ring = ClockRing()
+        a, b = self._page(0), self._page(1)
+        ring.insert(a)
+        ring.insert(b)
+        a.ref_bit = True
+        b.ref_bit = False
+        assert ring.select_victim() is b
+
+    def test_forget_makes_entry_stale(self):
+        ring = ClockRing()
+        a, b = self._page(0), self._page(1)
+        ring.insert(a)
+        ring.insert(b)
+        ring.forget(a)
+        a.state = PageState.FREELIST
+        assert ring.select_victim() is b
+
+    def test_empty_ring(self):
+        assert ClockRing().select_victim() is None
+
+    def test_second_chance_order(self):
+        ring = ClockRing()
+        pages = [self._page(i) for i in range(4)]
+        for p in pages:
+            ring.insert(p)
+        # Touch page 0 again right before eviction: it survives, page 1 goes.
+        first = ring.select_victim()
+        assert first is pages[0]
+        pages[1].ref_bit = True
+        second = ring.select_victim()
+        assert second is pages[2]
+
+
+def make_manager(frames=8, num_disks=2):
+    cfg = PlatformConfig(
+        memory_pages=frames,
+        available_fraction=1.0,
+        num_disks=num_disks,
+    )
+    clock = Clock()
+    stats = RunStats()
+    disks = DiskArray(cfg)
+    disks.register_segment("x", base_vpage=1, npages=1000)
+    return MemoryManager(cfg, clock, disks, stats), clock, stats, cfg
+
+
+class TestManagerFaults:
+    def test_first_access_is_nonprefetched_fault(self):
+        mgr, clock, stats, _ = make_manager()
+        outcome = mgr.access(1, is_write=False)
+        assert outcome is AccessOutcome.NONPREFETCHED_FAULT
+        assert stats.faults.nonprefetched_fault == 1
+        assert clock.stall_time() > 0
+
+    def test_second_access_is_hit(self):
+        mgr, clock, stats, _ = make_manager()
+        mgr.access(1, False)
+        before = clock.now
+        assert mgr.access(1, False) is AccessOutcome.HIT
+        assert clock.now == before  # hits are free
+
+    def test_write_marks_dirty(self):
+        mgr, _, _, _ = make_manager()
+        mgr.access(1, is_write=True)
+        assert mgr.pages[1].dirty
+
+    def test_eviction_when_full(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.access(3, False)
+        assert stats.memory.evictions == 1
+        states = [mgr.pages[v].state for v in (1, 2, 3)]
+        assert states.count(PageState.RESIDENT) == 2
+
+    def test_dirty_eviction_writes_back(self):
+        mgr, _, stats, _ = make_manager(frames=1)
+        mgr.access(1, is_write=True)
+        mgr.access(2, False)
+        assert stats.memory.eviction_writebacks == 1
+        assert mgr.disks.writes == 1
+
+    def test_clock_gives_second_chance_to_touched_pages(self):
+        mgr, _, _, _ = make_manager(frames=3)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.access(3, False)
+        # First eviction sweeps all reference bits and takes the oldest.
+        mgr.access(4, False)
+        assert mgr.pages[1].state == PageState.ON_DISK
+        # Page 2's bit was cleared by the sweep; touching it again sets it,
+        # so the next eviction skips 2 and takes 3.
+        mgr.access(2, False)
+        mgr.access(5, False)
+        assert mgr.pages[3].state == PageState.ON_DISK
+        assert mgr.pages[2].state == PageState.RESIDENT
+
+
+class TestManagerPrefetch:
+    def test_prefetch_then_access_is_hidden(self):
+        mgr, clock, stats, _ = make_manager()
+        mgr.prefetch_call(1, 1)
+        clock.advance(100_000.0, TimeCategory.USER_COMPUTE)
+        outcome = mgr.access(1, False)
+        assert outcome is AccessOutcome.PREFETCHED_HIT
+        assert stats.faults.prefetched_hit == 1
+        assert clock.stall_time() == 0.0
+
+    def test_access_catching_up_stalls_partially(self):
+        mgr, clock, stats, cfg = make_manager()
+        mgr.prefetch_call(1, 1)
+        outcome = mgr.access(1, False)
+        assert outcome is AccessOutcome.PREFETCHED_FAULT
+        # Stall is less than a full fault would have been.
+        assert 0 < clock.stall_time() < cfg.disk.random_service_us(1)
+
+    def test_prefetch_dropped_when_memory_full(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.prefetch_call(3, 1)
+        assert stats.prefetch.dropped == 1
+        assert mgr.pages[3].state == PageState.ON_DISK
+        assert mgr.pages[3].prefetched_pending
+
+    def test_dropped_prefetch_fault_classified_prefetched(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.prefetch_call(3, 1)
+        outcome = mgr.access(3, False)
+        assert outcome is AccessOutcome.PREFETCHED_FAULT
+
+    def test_prefetch_resident_is_unnecessary(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.access(1, False)
+        mgr.prefetch_call(1, 1)
+        assert stats.prefetch.unnecessary_issued == 1
+
+    def test_prefetch_in_transit_ignored(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.prefetch_call(1, 1)
+        mgr.prefetch_call(1, 1)
+        assert stats.prefetch.in_transit == 1
+        assert stats.prefetch.disk_reads == 1
+
+    def test_prefetch_never_evicts(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.prefetch_call(3, 4)
+        assert stats.memory.evictions == 0
+        assert stats.prefetch.dropped == 4
+
+    def test_block_prefetch_reads_in_parallel(self):
+        mgr, clock, stats, cfg = make_manager(frames=8, num_disks=4)
+        mgr.prefetch_call(1, 4)
+        arrivals = {mgr.pages[v].arrival_us for v in range(1, 5)}
+        # Four pages across four disks: all finish within one service time.
+        assert max(arrivals) <= cfg.disk.random_service_us(1) + clock.now
+
+
+class TestManagerRelease:
+    def test_release_moves_to_freelist(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.access(1, False)
+        mgr.release_call([1])
+        assert mgr.pages[1].state == PageState.FREELIST
+        assert stats.release.pages_released == 1
+
+    def test_release_dirty_schedules_writeback(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.access(1, is_write=True)
+        mgr.release_call([1])
+        assert stats.release.writebacks == 1
+        assert mgr.disks.writes == 1
+        assert not mgr.pages[1].dirty
+
+    def test_release_nonresident_is_noop(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.release_call([5])
+        assert stats.release.noop == 1
+
+    def test_released_page_reclaimable(self):
+        mgr, clock, stats, _ = make_manager()
+        mgr.access(1, False)
+        mgr.release_call([1])
+        outcome = mgr.access(1, False)
+        assert outcome is AccessOutcome.RECLAIM
+        assert mgr.disks.reads_fault == 1  # no second disk read
+
+    def test_prefetch_of_released_page_reclaims(self):
+        mgr, _, stats, _ = make_manager()
+        mgr.access(1, False)
+        mgr.release_call([1])
+        mgr.prefetch_call(1, 1)
+        assert stats.prefetch.reclaimed == 1
+        assert mgr.access(1, False) is AccessOutcome.PREFETCHED_HIT
+
+    def test_freed_frames_feed_faults(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.release_call([1])
+        mgr.access(3, False)
+        assert stats.memory.evictions == 0  # took the free-list frame
+        assert mgr.pages[1].state == PageState.ON_DISK  # contents discarded
+
+    def test_bundled_prefetch_release_frees_then_fetches(self):
+        mgr, _, stats, _ = make_manager(frames=2)
+        mgr.access(1, False)
+        mgr.access(2, False)
+        mgr.prefetch_release_call(3, 1, [1])
+        # Release of page 1 freed the frame the prefetch then used.
+        assert stats.prefetch.dropped == 0
+        assert stats.prefetch.disk_reads == 1
+        assert mgr.pages[3].state == PageState.IN_TRANSIT
+
+
+class TestManagerAccounting:
+    def test_free_integral_tracks_usage(self):
+        mgr, clock, stats, _ = make_manager(frames=4)
+        clock.advance(100.0, TimeCategory.USER_COMPUTE)
+        mgr.access(1, False)
+        clock.advance(100.0, TimeCategory.USER_COMPUTE)
+        mgr.finalize_accounting()
+        frac = stats.memory.avg_free_fraction(clock.now)
+        assert 0.0 < frac <= 1.0
+
+    def test_warm_load(self):
+        mgr, clock, stats, _ = make_manager(frames=4)
+        mgr.warm_load([1, 2, 3])
+        assert all(mgr.pages[v].state == PageState.RESIDENT for v in (1, 2, 3))
+        assert clock.now == 0.0
+        assert mgr.access(1, False) is AccessOutcome.HIT
+
+    def test_warm_load_overflow_rejected(self):
+        mgr, _, _, _ = make_manager(frames=2)
+        with pytest.raises(MachineError):
+            mgr.warm_load([1, 2, 3])
+
+    def test_flush_writes_dirty_pages(self):
+        mgr, clock, _, _ = make_manager()
+        mgr.access(1, True)
+        mgr.access(2, False)
+        mgr.flush_dirty()
+        assert mgr.disks.writes == 1
+        assert clock.spent(TimeCategory.STALL_FLUSH) > 0
