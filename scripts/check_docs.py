@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Lint: docs/observability.md must match the code, both ways.
+
+The observability doc contains two authoritative reference tables:
+
+* **Event schema reference** -- one row per ``TraceKind`` value;
+* **Metric reference** -- one row per name in ``RUN_METRIC_NAMES`` +
+  ``OBS_METRIC_NAMES``.
+
+This script parses those sections (and only those sections -- other
+tables in the doc may legitimately backtick other things) and fails
+when a kind or metric exists in code but is undocumented, or is
+documented but no longer exists.  CI runs it next to the test suite;
+``tests/test_check_docs.py`` runs the same check under pytest.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO_ROOT / "docs" / "observability.md"
+
+#: Section heading -> what its table's first column enumerates.
+SECTIONS = {
+    "## Event schema reference": "kinds",
+    "## Metric reference": "metrics",
+}
+
+_ROW_TOKEN = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|")
+
+
+def _section_text(doc: str, heading: str) -> str:
+    """The body of one ``##`` section (up to the next ``##`` heading)."""
+    start = doc.index(heading) + len(heading)
+    rest = doc[start:]
+    next_heading = re.search(r"^## ", rest, flags=re.MULTILINE)
+    return rest[: next_heading.start()] if next_heading else rest
+
+
+def documented_tokens(doc_path: Path = DOC_PATH) -> dict[str, set[str]]:
+    """First-column backticked tokens of each reference table."""
+    doc = doc_path.read_text()
+    tokens: dict[str, set[str]] = {"kinds": set(), "metrics": set()}
+    for heading, bucket in SECTIONS.items():
+        if heading not in doc:
+            raise SystemExit(f"{doc_path}: missing section {heading!r}")
+        for line in _section_text(doc, heading).splitlines():
+            match = _ROW_TOKEN.match(line.strip())
+            if match:
+                tokens[bucket].add(match.group(1))
+    return tokens
+
+
+def check(doc_path: Path = DOC_PATH) -> list[str]:
+    """Returns a list of problems; empty means docs and code agree."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.metrics import OBS_METRIC_NAMES, RUN_METRIC_NAMES
+    from repro.obs.trace import TraceKind
+
+    code_kinds = {kind.value for kind in TraceKind}
+    code_metrics = set(RUN_METRIC_NAMES) | set(OBS_METRIC_NAMES)
+    doc = documented_tokens(doc_path)
+
+    problems = []
+    for missing in sorted(code_kinds - doc["kinds"]):
+        problems.append(f"event kind {missing!r} is in code but not documented")
+    for stale in sorted(doc["kinds"] - code_kinds):
+        problems.append(f"event kind {stale!r} is documented but not in code")
+    for missing in sorted(code_metrics - doc["metrics"]):
+        problems.append(f"metric {missing!r} is in code but not documented")
+    for stale in sorted(doc["metrics"] - code_metrics):
+        problems.append(f"metric {stale!r} is documented but not in code")
+
+    if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
+        problems.append("RUN_METRIC_NAMES contains duplicates")
+    overlap = set(RUN_METRIC_NAMES) & set(OBS_METRIC_NAMES)
+    if overlap:
+        problems.append(f"names in both RUN and OBS lists: {sorted(overlap)}")
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(f"check_docs: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    tokens = documented_tokens()
+    print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
+          f"{len(tokens['metrics'])} metrics in sync)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Regenerate the golden observability trace.
+
+The golden file (``tests/data/embar_trace_golden.json``) pins the exact
+Chrome ``trace_event`` export of one small, fully deterministic EMBAR
+run; ``tests/test_obs.py::TestGoldenTrace`` fails when the export
+drifts.  After an *intentional* change to the trace schema or to the
+simulation's event sequence, re-run::
+
+    PYTHONPATH=src python scripts/regen_golden_trace.py
+
+and commit the updated file together with the change that caused it.
+The test imports :func:`golden_run` from this script, so the run
+recorded here and the run the test performs are the same by
+construction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "data" / "embar_trace_golden.json"
+
+#: The canonical run: small enough to finish in ~1 s, out-of-core
+#: enough to exercise faults, prefetches, releases, and evictions.
+APP = "EMBAR"
+MEMORY_PAGES = 96
+DATA_PAGES = 120
+SEED = 1
+
+
+def golden_run():
+    """Execute the canonical run; returns the attached Observer."""
+    from repro.apps.registry import get_app
+    from repro.config import PlatformConfig
+    from repro.core.options import CompilerOptions
+    from repro.core.prefetch_pass import insert_prefetches
+    from repro.harness.experiment import run_variant
+    from repro.obs import Observer
+
+    platform = PlatformConfig(memory_pages=MEMORY_PAGES)
+    program = get_app(APP).make(DATA_PAGES, seed=SEED)
+    compiled = insert_prefetches(program, CompilerOptions.from_platform(platform))
+    obs = Observer()
+    run_variant(compiled.program, platform, prefetching=True, observer=obs)
+    return obs
+
+
+def main() -> int:
+    from repro.obs import chrome_trace, validate_chrome_trace
+
+    obs = golden_run()
+    trace = chrome_trace(obs.trace)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH} ({len(trace['traceEvents'])} trace records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,12 @@
     python -m repro compare FFT --nofilter    # O vs P (vs P-nofilter)
     python -m repro sweep BUK --multiples 0.5,1,2,3   # Figure-8 style
     python -m repro multiprog EMBAR,MGRID     # co-schedule two applications
+    python -m repro trace --app embar --out trace.json   # record a run
+
+``run`` and ``compare`` additionally accept ``--trace FILE`` (Chrome
+trace_event JSON, Perfetto-loadable) and ``--metrics-out FILE`` (the
+metrics-registry JSON artifact); ``trace`` is the dedicated front door
+for both.  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
 from repro.harness.experiment import compare_app, default_data_pages, run_variant
 from repro.harness.report import render_table
+from repro.obs import Observer, write_chrome_trace, write_metrics_json
 from repro.sim.stats import RunStats
 
 
@@ -47,30 +54,61 @@ def _data_pages(args: argparse.Namespace, platform: PlatformConfig) -> int:
     return default_data_pages(platform)
 
 
-def _print_stats(stats: RunStats) -> None:
-    t = stats.times
+def _print_stats(stats: RunStats, registry=None) -> None:
+    """Print the run's headline metrics, sourced from the registry.
+
+    The registry (``RunStats.publish``) is the canonical export surface
+    of the observability layer; this table is just a curated view of it.
+    """
+    reg = registry if registry is not None else stats.publish()
+    v = reg.value
+    secs = lambda name: f"{v(name) / 1e6:.3f} s"  # noqa: E731
     rows = [
-        ["elapsed", f"{stats.elapsed_us / 1e6:.3f} s"],
-        ["user compute", f"{t.user_compute / 1e6:.3f} s"],
-        ["user overhead", f"{t.user_overhead / 1e6:.3f} s"],
-        ["system (faults)", f"{t.sys_fault / 1e6:.3f} s"],
-        ["system (prefetch)", f"{t.sys_prefetch / 1e6:.3f} s"],
-        ["system (release)", f"{t.sys_release / 1e6:.3f} s"],
-        ["I/O stall", f"{t.idle / 1e6:.3f} s"],
-        ["page faults", stats.faults.actual_faults],
-        ["prefetched hits", stats.faults.prefetched_hit],
-        ["coverage", f"{100 * stats.faults.coverage:.1f} %"],
-        ["prefetches inserted", stats.prefetch.compiler_inserted],
-        ["filtered at user level", stats.prefetch.filtered],
-        ["issued to OS (pages)", stats.prefetch.issued_pages],
-        ["pages released", stats.release.pages_released],
-        ["disk requests", stats.disk.total_requests],
-        ["avg disk utilization",
-         f"{100 * stats.disk.utilization(stats.elapsed_us):.1f} %"],
-        ["avg free memory",
-         f"{100 * stats.memory.avg_free_fraction(stats.elapsed_us):.1f} %"],
+        ["elapsed", secs("time.elapsed_us")],
+        ["user compute", secs("time.user_compute_us")],
+        ["user overhead", secs("time.user_overhead_us")],
+        ["system (faults)", secs("time.sys_fault_us")],
+        ["system (prefetch)", secs("time.sys_prefetch_us")],
+        ["system (release)", secs("time.sys_release_us")],
+        ["I/O stall",
+         f"{(v('time.stall_read_us') + v('time.stall_flush_us')) / 1e6:.3f} s"],
+        ["page faults",
+         int(v("faults.prefetched_fault") + v("faults.nonprefetched_fault"))],
+        ["prefetched hits", int(v("faults.prefetched_hit"))],
+        ["coverage", f"{100 * v('faults.coverage'):.1f} %"],
+        ["prefetches inserted", int(v("prefetch.compiler_inserted"))],
+        ["filtered at user level", int(v("prefetch.filtered"))],
+        ["issued to OS (pages)", int(v("prefetch.issued_pages"))],
+        ["pages released", int(v("release.pages_released"))],
+        ["disk requests",
+         int(v("disk.reads_fault") + v("disk.reads_prefetch") + v("disk.writes"))],
+        ["avg disk utilization", f"{100 * v('disk.utilization'):.1f} %"],
+        ["avg free memory", f"{100 * v('memory.avg_free_fraction'):.1f} %"],
     ]
     print(render_table(["metric", "value"], rows))
+
+
+def _make_observer(args: argparse.Namespace) -> Observer | None:
+    """An observer when any observability output was requested."""
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        return Observer(capacity=getattr(args, "trace_buffer", 65536))
+    return None
+
+
+def _write_observations(args: argparse.Namespace, obs: Observer | None) -> None:
+    """Write the requested trace / metrics artifacts and say where."""
+    if obs is None:
+        return
+    trace_path = getattr(args, "trace", None) or getattr(args, "out", None)
+    if trace_path:
+        write_chrome_trace(trace_path, obs.trace)
+        kept, dropped = len(obs.trace), obs.trace.dropped
+        print(f"trace: {trace_path} ({kept} events"
+              + (f", {dropped} dropped by ring wraparound" if dropped else "")
+              + ") -- load in https://ui.perfetto.dev")
+    if getattr(args, "metrics_out", None):
+        write_metrics_json(args.metrics_out, obs.metrics)
+        print(f"metrics: {args.metrics_out} ({len(obs.metrics)} instruments)")
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -119,14 +157,19 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    platform = _platform_from_args(args)
+def _run_one_variant(
+    args: argparse.Namespace,
+    platform: PlatformConfig,
+    observer: Observer | None,
+) -> tuple[str, int, RunStats]:
+    """Build, (maybe) compile, and execute one variant of one app."""
     spec = get_app(args.app)
     pages = _data_pages(args, platform)
     program = spec.make(pages, seed=args.seed)
     variant = args.variant.lower()
     if variant == "o":
-        stats = run_variant(program, platform, prefetching=False, warm=args.warm)
+        stats = run_variant(program, platform, prefetching=False,
+                            warm=args.warm, observer=observer)
     else:
         options = CompilerOptions.from_platform(platform)
         compiled = insert_prefetches(program, options)
@@ -137,10 +180,34 @@ def cmd_run(args: argparse.Namespace) -> int:
             runtime_filter=variant != "nofilter",
             warm=args.warm,
             adaptive=variant == "adaptive",
+            observer=observer,
         )
-    print(f"{spec.name} [{variant.upper()}] at {pages} data pages "
+    return spec.name, pages, stats
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    platform = _platform_from_args(args)
+    observer = _make_observer(args)
+    name, pages, stats = _run_one_variant(args, platform, observer)
+    print(f"{name} [{args.variant.upper()}] at {pages} data pages "
           f"({'warm' if args.warm else 'cold'} start)")
-    _print_stats(stats)
+    _print_stats(stats, observer.metrics if observer else None)
+    _write_observations(args, observer)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record one run and emit the trace / metrics artifacts."""
+    platform = _platform_from_args(args)
+    observer = Observer(capacity=args.trace_buffer)
+    name, pages, stats = _run_one_variant(args, platform, observer)
+    print(f"{name} [{args.variant.upper()}] at {pages} data pages: "
+          f"{stats.elapsed_us / 1e6:.3f} s simulated, "
+          f"{observer.trace.total_emitted} events")
+    counts = observer.trace.counts_by_kind()
+    rows = [[kind, counts[kind]] for kind in sorted(counts)]
+    print(render_table(["event kind", "count"], rows))
+    _write_observations(args, observer)
     return 0
 
 
@@ -150,6 +217,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     pages = args.pages or (
         _data_pages(args, platform) if getattr(args, "size_class", None) else None
     )
+    observer = _make_observer(args)
     result = compare_app(
         spec,
         platform,
@@ -158,6 +226,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         warm=args.warm,
         include_nofilter=args.nofilter,
         include_adaptive=args.adaptive,
+        observer=observer,
     )
     rows = []
     variants = [result.original, result.prefetch] + list(result.extras.values())
@@ -175,6 +244,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         rows,
         title=f"{spec.name} at {result.data_pages} data pages",
     ))
+    _write_observations(args, observer)
     return 0
 
 
@@ -275,11 +345,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--two-version", action="store_true",
                    help="enable the two-version-loop extension")
 
+    def add_obs_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome trace_event JSON (Perfetto-loadable)")
+        p.add_argument("--metrics-out", metavar="FILE",
+                       help="write the metrics-registry JSON artifact")
+        p.add_argument("--trace-buffer", type=int, default=65536,
+                       help="trace ring-buffer capacity in events")
+
     p = sub.add_parser("run", help="execute one variant")
     add_app_args(p)
     p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
                    default="p")
     p.add_argument("--warm", action="store_true", help="preload the data set")
+    add_obs_args(p)
 
     p = sub.add_parser("compare", help="run original vs prefetching")
     add_app_args(p)
@@ -288,6 +367,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run without the run-time layer")
     p.add_argument("--adaptive", action="store_true",
                    help="also run with adaptive suppression")
+    add_obs_args(p)
+
+    p = sub.add_parser(
+        "trace",
+        help="record one run: structured trace + metrics artifacts",
+        description="Execute one variant with the observability layer "
+                    "attached and write a Perfetto-loadable trace "
+                    "(see docs/observability.md).",
+    )
+    p.add_argument("--app", required=True,
+                   help="application name (BUK, CGM, ..., or NAS name)")
+    p.add_argument("--out", required=True, metavar="FILE",
+                   help="trace output path (Chrome trace_event JSON)")
+    p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
+                   default="p")
+    p.add_argument("--pages", type=int, default=0,
+                   help="major data footprint in pages (default ~2x memory)")
+    p.add_argument("--size-class", choices=["S", "W", "A", "B"],
+                   help="NAS-style problem class instead of --pages")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--warm", action="store_true", help="preload the data set")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="also write the metrics-registry JSON artifact")
+    p.add_argument("--trace-buffer", type=int, default=65536,
+                   help="trace ring-buffer capacity in events")
 
     p = sub.add_parser("sweep", help="problem-size sweep (Figure 8 style)")
     add_app_args(p)
@@ -312,6 +416,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "sweep": cmd_sweep,
     "multiprog": cmd_multiprog,
+    "trace": cmd_trace,
 }
 
 

@@ -78,18 +78,28 @@ def run_variant(
     warm: bool = False,
     adaptive: bool = False,
     os_readahead: bool = False,
+    observer=None,
 ) -> RunStats:
-    """Execute one program variant on a fresh machine."""
+    """Execute one program variant on a fresh machine.
+
+    Passing a :class:`repro.obs.Observer` records the run: trace events
+    go to ``observer.trace`` and the finished stats are published into
+    ``observer.metrics`` (so ``--trace`` / ``--metrics-out`` artifacts
+    come straight off the observer).
+    """
     machine = Machine(
         platform,
         prefetching=prefetching,
         runtime_filter=runtime_filter,
         adaptive_prefetch=adaptive,
         os_readahead=os_readahead,
+        observer=observer,
     )
     executor = Executor(machine, warm_start=warm)
     stats = executor.run(program)
     assert stats is not None
+    if observer is not None:
+        stats.publish(observer.metrics)
     return stats
 
 
@@ -103,8 +113,14 @@ def compare_app(
     include_nofilter: bool = False,
     include_adaptive: bool = False,
     include_readahead: bool = False,
+    observer=None,
 ) -> ComparisonResult:
-    """Run O and P (optionally P-nofilter, P-adaptive, O-readahead)."""
+    """Run O and P (optionally P-nofilter, P-adaptive, O-readahead).
+
+    An ``observer`` records the **P** run only -- the prefetching
+    variant is the one whose schedule the trace exists to debug; the
+    other variants run unobserved so their timings stay comparable.
+    """
     if data_pages is None:
         data_pages = default_data_pages(platform, spec.default_memory_multiple)
     program = spec.make(data_pages, seed=seed)
@@ -112,7 +128,8 @@ def compare_app(
     compiled = insert_prefetches(program, options)
 
     o_stats = run_variant(program, platform, prefetching=False, warm=warm)
-    p_stats = run_variant(compiled.program, platform, prefetching=True, warm=warm)
+    p_stats = run_variant(compiled.program, platform, prefetching=True, warm=warm,
+                          observer=observer)
     result = ComparisonResult(
         app=spec.name,
         data_pages=data_pages,

@@ -69,3 +69,30 @@ def stacked_time_bar(breakdown, normalize_to: float, width: int = 60) -> str:
 
 def pct(value: float) -> str:
     return f"{100 * value:.1f}%"
+
+
+def _fmt_metric(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def render_metrics(registry, title: str | None = None) -> str:
+    """Render a metrics registry as a fixed-width table.
+
+    This is the registry-driven replacement for hand-picked stat
+    fields: whatever a run published (``RunStats.publish``) or an
+    observer collected live is what gets printed.  Counters and gauges
+    show their value; histograms show count / mean / p50 / max.
+    """
+    rows = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        if instrument.kind == "histogram":
+            detail = (f"n={instrument.count} mean={_fmt_metric(instrument.mean)} "
+                      f"p50={_fmt_metric(instrument.quantile(0.5))} "
+                      f"max={_fmt_metric(instrument.max if instrument.count else 0.0)}")
+            rows.append([name, instrument.kind, detail])
+        else:
+            rows.append([name, instrument.kind, _fmt_metric(instrument.value)])
+    return render_table(["metric", "kind", "value"], rows, title=title)

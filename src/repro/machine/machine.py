@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.config import PlatformConfig
 from repro.errors import MachineError
+from repro.obs.trace import TraceKind
 from repro.runtime.layer import RuntimeLayer
 from repro.sim.clock import Clock, TimeCategory
 from repro.sim.stats import RunStats, TimeBreakdown
@@ -37,16 +38,21 @@ class Machine:
         adaptive_prefetch: bool = False,
         os_readahead: bool = False,
         binding_prefetch: bool = False,
+        observer=None,
     ) -> None:
         self.config = config or PlatformConfig()
         self.clock = Clock()
         self.stats = RunStats()
+        #: Attached :class:`repro.obs.Observer`, or None.  Every layer
+        #: below shares this one reference; tracing is off when unset.
+        self.obs = observer
         self.address_space = AddressSpace(self.config.page_size)
-        self.disks = DiskArray(self.config)
+        self.disks = DiskArray(self.config, observer=observer)
         self.manager = MemoryManager(
             self.config, self.clock, self.disks, self.stats,
             readahead=os_readahead,
             binding=binding_prefetch,
+            observer=observer,
         )
         self.prefetching = prefetching
         self.runtime: RuntimeLayer | None = None
@@ -55,6 +61,7 @@ class Machine:
                 self.config, self.clock, self.manager, self.stats,
                 filter_enabled=runtime_filter,
                 adaptive=adaptive_prefetch,
+                observer=observer,
             )
         self._finished = False
 
@@ -123,11 +130,18 @@ class Machine:
         page_map = manager.pages
         resident = PageState.RESIDENT
         runtime = self.runtime
+        obs = self.obs
+        if obs is not None:
+            obs.emit(clock.now, TraceKind.CHUNK, npages=len(kinds))
         # The inline filter fast path is only valid for the plain filter;
         # the adaptive state machine must see every request, so adaptive
-        # runs route single-page prefetches through the layer.
+        # runs route single-page prefetches through the layer.  An
+        # attached observer must also see every request (the filter
+        # events are part of the trace), so tracing runs take the layer
+        # path too -- it charges identical costs, only wall-clock slows.
         filter_on = (
-            runtime is not None and runtime.filter_enabled and not runtime.adaptive
+            runtime is not None and runtime.filter_enabled
+            and not runtime.adaptive and obs is None
         )
         bits = runtime.bitvector.raw if filter_on else None
         granularity = runtime.bitvector.granularity if filter_on else 1

@@ -77,20 +77,26 @@ class CoScheduler:
     """Runs several programs on one shared simulated machine."""
 
     def __init__(self, platform: PlatformConfig | None = None,
-                 quantum_us: float = 20_000.0) -> None:
+                 quantum_us: float = 20_000.0, observer=None) -> None:
         if quantum_us <= 0:
             raise MachineError(f"quantum must be positive, got {quantum_us}")
         self.platform = platform or PlatformConfig()
         self.quantum_us = quantum_us
         self.clock = Clock()
         self.stats = RunStats()
+        #: Attached :class:`repro.obs.Observer`, or None.  The machine is
+        #: shared, so one observer sees every process's events interleaved
+        #: in simulated-time order.
+        self.obs = observer
         self.address_space = AddressSpace(self.platform.page_size)
-        self.disks = DiskArray(self.platform)
+        self.disks = DiskArray(self.platform, observer=observer)
         self.manager = MemoryManager(
-            self.platform, self.clock, self.disks, self.stats
+            self.platform, self.clock, self.disks, self.stats,
+            observer=observer,
         )
         self.layer = RuntimeLayer(
-            self.platform, self.clock, self.manager, self.stats
+            self.platform, self.clock, self.manager, self.stats,
+            observer=observer,
         )
         self._procs: list[_Proc] = []
         self._ran = False

@@ -1,0 +1,63 @@
+"""Observability: structured event tracing and the metrics registry.
+
+The subsystem has three pieces (see docs/observability.md):
+
+* :class:`TraceBuffer` -- a fixed-capacity ring of typed
+  :class:`TraceEvent` records, emitted by the machine, the VM, the
+  run-time layer, and the disk array;
+* :class:`MetricsRegistry` -- named counters / gauges / histograms;
+  every ``RunStats`` counter publishes into it, plus three live
+  histograms only observable while the run executes;
+* exporters -- Chrome ``trace_event`` JSON (Perfetto-loadable) and a
+  metrics JSON artifact.
+
+Attach an :class:`Observer` to a machine to record a run::
+
+    from repro.obs import Observer
+    from repro.obs.export import write_chrome_trace
+
+    obs = Observer()
+    machine = Machine(platform, observer=obs)
+    stats = run_program(program, machine)
+    stats.publish(obs.metrics)
+    write_chrome_trace("trace.json", obs.trace)
+
+Everything is off by default: a machine without an observer emits
+nothing and pays a single ``is None`` check on its slow paths.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OBS_METRIC_NAMES,
+    RUN_METRIC_NAMES,
+)
+from repro.obs.observer import Observer
+from repro.obs.trace import TraceBuffer, TraceEvent, TraceKind
+
+__all__ = [
+    "Observer",
+    "TraceBuffer",
+    "TraceEvent",
+    "TraceKind",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RUN_METRIC_NAMES",
+    "OBS_METRIC_NAMES",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_json",
+    "write_metrics_json",
+]

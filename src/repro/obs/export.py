@@ -1,0 +1,183 @@
+"""Exporters: Chrome ``trace_event`` JSON and metrics JSON.
+
+The trace artifact is the Chrome trace-event format (the JSON flavour
+with a top-level ``traceEvents`` array), which loads directly in
+Perfetto (https://ui.perfetto.dev) and in Chromium's ``about://tracing``.
+Simulated time is already microseconds -- exactly the unit the format
+expects -- so timestamps pass through unscaled.
+
+Each simulator layer gets its own track (thread) so a loaded trace reads
+like the architecture diagram: ``machine`` (chunk replay), ``vm``
+(faults, evictions, OS-side prefetch outcomes), ``runtime`` (the
+user-level filter), ``disk`` (request submissions).  Disk queue delay is
+additionally exported as a counter track so Perfetto plots occupancy
+over time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceBuffer, TraceKind
+
+#: Track (tid) per simulator layer, plus human names for the metadata.
+_LAYER_TIDS = {"machine": 1, "vm": 2, "runtime": 3, "disk": 4}
+
+#: Which track each event kind lands on.
+KIND_LAYER: dict[TraceKind, str] = {
+    TraceKind.CHUNK: "machine",
+    TraceKind.FAULT: "vm",
+    TraceKind.PREFETCH_ISSUED: "vm",
+    TraceKind.PREFETCH_DROPPED: "vm",
+    TraceKind.PREFETCH_RECLAIMED: "vm",
+    TraceKind.PREFETCH_UNNECESSARY: "vm",
+    TraceKind.RELEASE: "vm",
+    TraceKind.EVICTION: "vm",
+    TraceKind.PREFETCH_FILTERED: "runtime",
+    TraceKind.PREFETCH_SUPPRESSED: "runtime",
+    TraceKind.DISK_REQUEST: "disk",
+}
+
+
+def chrome_trace(
+    buffer: TraceBuffer,
+    pid: int = 0,
+    process_name: str = "repro-sim",
+) -> dict[str, Any]:
+    """Render the buffer as a Chrome trace-event JSON object."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for layer, tid in _LAYER_TIDS.items():
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": layer},
+        })
+    for ev in buffer.events():
+        layer = KIND_LAYER[ev.kind]
+        events.append({
+            "name": ev.kind.value,
+            "ph": "i",
+            "s": "t",
+            "ts": ev.ts_us,
+            "pid": pid,
+            "tid": _LAYER_TIDS[layer],
+            "args": {
+                "vpage": ev.vpage,
+                "npages": ev.npages,
+                "value": ev.value,
+                "tag": ev.tag,
+            },
+        })
+        if ev.kind is TraceKind.DISK_REQUEST:
+            events.append({
+                "name": "disk_queue_delay_us",
+                "ph": "C",
+                "ts": ev.ts_us,
+                "pid": pid,
+                "args": {"us": ev.value},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "emitted": buffer.total_emitted,
+            "dropped": buffer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    buffer: TraceBuffer,
+    pid: int = 0,
+    process_name: str = "repro-sim",
+) -> None:
+    """Write a Perfetto-loadable trace JSON file."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(buffer, pid, process_name), fh, indent=1)
+        fh.write("\n")
+
+
+#: Phases and fields the validator accepts / requires.
+_VALID_PHASES = {"i", "C", "M"}
+_VALID_KINDS = {kind.value for kind in TraceKind}
+_COUNTER_NAMES = {"disk_queue_delay_us"}
+_META_NAMES = {"process_name", "thread_name"}
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Check a loaded trace object against the exporter's schema.
+
+    Returns a list of problems; an empty list means the trace is valid.
+    This is the oracle the golden-file test and ``scripts/check_docs.py``
+    share, so the schema documented in docs/observability.md has a
+    single executable definition.
+    """
+    problems: list[str] = []
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        return ["top level must be an object with a 'traceEvents' array"]
+    events = obj["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be an array"]
+    last_ts = float("-inf")
+    for idx, ev in enumerate(events):
+        where = f"traceEvents[{idx}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = ev.get("ph")
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        name = ev.get("name")
+        if phase == "M":
+            if name not in _META_NAMES:
+                problems.append(f"{where}: unknown metadata event {name!r}")
+            continue
+        if "ts" not in ev or not isinstance(ev["ts"], (int, float)):
+            problems.append(f"{where}: missing numeric 'ts'")
+            continue
+        if phase == "C":
+            if name not in _COUNTER_NAMES:
+                problems.append(f"{where}: unknown counter {name!r}")
+            continue
+        # phase == "i": one simulator event.
+        if name not in _VALID_KINDS:
+            problems.append(f"{where}: unknown event kind {name!r}")
+            continue
+        args = ev.get("args")
+        if not isinstance(args, dict):
+            problems.append(f"{where}: missing 'args'")
+            continue
+        for field, types in (("vpage", (int,)), ("npages", (int,)),
+                             ("value", (int, float)), ("tag", (str,))):
+            if not isinstance(args.get(field), types):
+                problems.append(f"{where}: args.{field} missing or mistyped")
+        if ev["ts"] < last_ts:
+            problems.append(f"{where}: timestamps not monotonic")
+        last_ts = ev["ts"]
+    return problems
+
+
+def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """Render a registry as a JSON-ready object."""
+    return {"metrics": registry.as_dict()}
+
+
+def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
+    """Write the run's metrics registry as a JSON artifact."""
+    with open(path, "w") as fh:
+        json.dump(metrics_json(registry), fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -1,0 +1,270 @@
+"""The metrics registry: counters, gauges, histograms.
+
+One :class:`MetricsRegistry` holds every named instrument of one run.
+The registry is the export surface for *all* quantitative results: the
+per-run counters of :class:`repro.sim.stats.RunStats` are published into
+it (``RunStats.publish``), the live histograms of an attached
+:class:`repro.obs.observer.Observer` are registered in it directly, and
+both the CLI's metric tables and the ``--metrics-out`` JSON artifact are
+rendered from it rather than from hand-picked dataclass fields.
+
+Naming convention: dotted lowercase, ``<group>.<metric>`` -- e.g.
+``faults.prefetched_hit``, ``disk.utilization``, ``obs.stall_latency_us``.
+``docs/observability.md`` lists every name; ``scripts/check_docs.py``
+fails the build when the doc and :data:`RUN_METRIC_NAMES` /
+:data:`OBS_METRIC_NAMES` disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import MachineError
+
+#: Default histogram bucket upper bounds, microseconds (an exponential
+#: ladder wide enough for both syscall overheads and full disk stalls).
+DEFAULT_BOUNDS_US: tuple[float, ...] = (
+    10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+#: Bounds for signed timeliness measurements (negative = the use beat
+#: the I/O completion, i.e. the prefetch was late).
+TIMELINESS_BOUNDS_US: tuple[float, ...] = (
+    -100_000.0, -10_000.0, -1_000.0, 0.0,
+    1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MachineError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value with min/max tracking."""
+
+    __slots__ = ("name", "value", "min", "max", "_seen")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.min: float = 0.0
+        self.max: float = 0.0
+        self._seen = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if not self._seen:
+            self.min = self.max = value
+            self._seen = True
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "value": self.value,
+                "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """A bucketed distribution with count/sum/min/max.
+
+    ``bounds`` are inclusive upper bounds of each bucket; one overflow
+    bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS_US) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise MachineError(f"histogram {name} needs ascending bounds")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for idx, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[idx] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the q-th bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise MachineError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank:
+                return self.bounds[idx] if idx < len(self.bounds) else self.max
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments for one run.
+
+    Requesting an existing name returns the existing instrument;
+    requesting it as a different type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, cls):
+                raise MachineError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+        instrument = cls(name, *args)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS_US
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, bounds)
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        try:
+            return self._instruments[name]
+        except KeyError:
+            raise MachineError(f"no metric named {name!r}") from None
+
+    def value(self, name: str) -> float:
+        """The scalar value of a counter or gauge."""
+        instrument = self.get(name)
+        if isinstance(instrument, Histogram):
+            raise MachineError(f"metric {name!r} is a histogram; use get()")
+        return instrument.value
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot of every instrument, sorted by name."""
+        return {name: self._instruments[name].as_dict() for name in self.names()}
+
+
+#: Every metric name ``RunStats.publish`` registers, in publish order.
+#: ``scripts/check_docs.py`` cross-checks this list against the metric
+#: reference table in docs/observability.md.
+RUN_METRIC_NAMES: tuple[str, ...] = (
+    "time.elapsed_us",
+    "time.user_compute_us",
+    "time.user_overhead_us",
+    "time.sys_fault_us",
+    "time.sys_prefetch_us",
+    "time.sys_release_us",
+    "time.stall_read_us",
+    "time.stall_flush_us",
+    "faults.hits",
+    "faults.prefetched_hit",
+    "faults.prefetched_fault",
+    "faults.nonprefetched_fault",
+    "faults.reclaim",
+    "faults.coverage",
+    "prefetch.compiler_inserted",
+    "prefetch.filtered",
+    "prefetch.suppressed",
+    "prefetch.readahead_pages",
+    "prefetch.binding_stale",
+    "prefetch.issued_calls",
+    "prefetch.issued_pages",
+    "prefetch.unnecessary_issued",
+    "prefetch.reclaimed",
+    "prefetch.dropped",
+    "prefetch.in_transit",
+    "prefetch.disk_reads",
+    "release.calls",
+    "release.pages_released",
+    "release.writebacks",
+    "release.noop",
+    "disk.reads_fault",
+    "disk.reads_prefetch",
+    "disk.writes",
+    "disk.sequential",
+    "disk.near",
+    "disk.random",
+    "disk.utilization",
+    "memory.frames_total",
+    "memory.evictions",
+    "memory.eviction_writebacks",
+    "memory.min_free",
+    "memory.max_free",
+    "memory.avg_free_fraction",
+)
+
+#: Live histograms an :class:`~repro.obs.observer.Observer` maintains
+#: while the run executes (they cannot be reconstructed from RunStats).
+OBS_METRIC_NAMES: tuple[str, ...] = (
+    "obs.stall_latency_us",
+    "obs.prefetch_to_use_us",
+    "obs.disk_queue_delay_us",
+)

@@ -1,0 +1,59 @@
+"""The observer: one trace buffer plus one metrics registry per run.
+
+Components (machine, memory manager, run-time layer, disk array) accept
+an optional :class:`Observer`.  When it is ``None`` -- the default
+everywhere -- they emit nothing and pay a single ``is None`` check on
+their slow paths only, which is what keeps tier-1 timings unchanged.
+When attached, the observer receives typed :class:`TraceKind` events and
+feeds the three live histograms that cannot be recomputed after the run:
+stall latency, prefetch timeliness, and disk queue delay.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS_US,
+    TIMELINESS_BOUNDS_US,
+    MetricsRegistry,
+    OBS_METRIC_NAMES,
+)
+from repro.obs.trace import TraceBuffer, TraceKind
+
+
+class Observer:
+    """Bundles the trace buffer and the metrics registry of one run."""
+
+    __slots__ = ("trace", "metrics", "stall_latency", "prefetch_to_use",
+                 "disk_queue_delay")
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.trace = TraceBuffer(capacity)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Pre-bound live histograms so hot-ish paths skip the registry
+        # lookup.  Names must stay in sync with OBS_METRIC_NAMES.
+        self.stall_latency = self.metrics.histogram(
+            "obs.stall_latency_us", DEFAULT_BOUNDS_US
+        )
+        self.prefetch_to_use = self.metrics.histogram(
+            "obs.prefetch_to_use_us", TIMELINESS_BOUNDS_US
+        )
+        self.disk_queue_delay = self.metrics.histogram(
+            "obs.disk_queue_delay_us", DEFAULT_BOUNDS_US
+        )
+        assert all(name in self.metrics for name in OBS_METRIC_NAMES)
+
+    def emit(
+        self,
+        ts_us: float,
+        kind: TraceKind,
+        vpage: int = -1,
+        npages: int = 1,
+        value: float = 0.0,
+        tag: str = "",
+    ) -> None:
+        """Record one trace event at simulated time ``ts_us``."""
+        self.trace.emit(ts_us, kind, vpage, npages, value, tag)

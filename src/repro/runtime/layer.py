@@ -26,6 +26,7 @@ at worst a suppressed prefetch becomes an ordinary fault.
 from __future__ import annotations
 
 from repro.config import PlatformConfig
+from repro.obs.trace import TraceKind
 from repro.runtime.bitvector import ResidencyBitVector
 from repro.sim.clock import Clock, TimeCategory
 from repro.sim.stats import RunStats
@@ -50,11 +51,14 @@ class RuntimeLayer:
         stats: RunStats,
         filter_enabled: bool = True,
         adaptive: bool = False,
+        observer=None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.manager = manager
         self.stats = stats
+        #: Attached :class:`repro.obs.Observer`, or None (tracing off).
+        self.obs = observer
         self.filter_enabled = filter_enabled
         #: Section 4.3.1 extension: suppress prefetching while everything
         #: is resident.
@@ -112,6 +116,9 @@ class RuntimeLayer:
             self.manager.prefetch_call(start_vpage, npages)
             return
         if self._suppression_active(npages):
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.PREFETCH_SUPPRESSED,
+                              start_vpage, npages)
             return
         test = self.bitvector.test
         checked = 0
@@ -124,11 +131,17 @@ class RuntimeLayer:
         clock.advance(cost.filter_check_us * checked, TimeCategory.USER_OVERHEAD)
         if first_missing < 0:
             pstats.filtered += npages
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
+                              start_vpage, npages)
             self._note_outcome(fully_filtered=True)
             return
         self._note_outcome(fully_filtered=False)
         leading_resident = first_missing - start_vpage
         pstats.filtered += leading_resident
+        if self.obs is not None and leading_resident:
+            self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
+                          start_vpage, leading_resident)
         self.manager.prefetch_call(first_missing, npages - leading_resident)
 
     def prefetch_release(
@@ -159,10 +172,16 @@ class RuntimeLayer:
             first_missing = start_vpage
         if first_missing < 0:
             pstats.filtered += npages
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
+                              start_vpage, npages)
             self.manager.release_call(release_vpages)
             return
         leading_resident = first_missing - start_vpage
         pstats.filtered += leading_resident
+        if self.obs is not None and leading_resident:
+            self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
+                          start_vpage, leading_resident)
         self.manager.prefetch_release_call(
             first_missing, npages - leading_resident, release_vpages
         )

@@ -229,3 +229,71 @@ class RunStats:
     def speedup_baseline(self) -> float:
         """Convenience alias for elapsed time (for ratio computations)."""
         return self.elapsed_us
+
+    def publish(self, registry=None):
+        """Publish every counter into a metrics registry (and return it).
+
+        This is the bridge between the per-run dataclasses and the
+        observability layer: the registry's dotted names
+        (:data:`repro.obs.metrics.RUN_METRIC_NAMES`) are the canonical
+        export vocabulary consumed by the CLI tables, ``--metrics-out``
+        JSON, and the doc lint.  Publish a finished run exactly once per
+        registry -- counters accumulate.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = registry if registry is not None else MetricsRegistry()
+        t = self.times
+        counters = {
+            "time.elapsed_us": self.elapsed_us,
+            "time.user_compute_us": t.user_compute,
+            "time.user_overhead_us": t.user_overhead,
+            "time.sys_fault_us": t.sys_fault,
+            "time.sys_prefetch_us": t.sys_prefetch,
+            "time.sys_release_us": t.sys_release,
+            "time.stall_read_us": t.stall_read,
+            "time.stall_flush_us": t.stall_flush,
+            "faults.hits": self.faults.hits,
+            "faults.prefetched_hit": self.faults.prefetched_hit,
+            "faults.prefetched_fault": self.faults.prefetched_fault,
+            "faults.nonprefetched_fault": self.faults.nonprefetched_fault,
+            "faults.reclaim": self.faults.reclaim_fault,
+            "prefetch.compiler_inserted": self.prefetch.compiler_inserted,
+            "prefetch.filtered": self.prefetch.filtered,
+            "prefetch.suppressed": self.prefetch.suppressed,
+            "prefetch.readahead_pages": self.prefetch.readahead_pages,
+            "prefetch.binding_stale": self.prefetch.binding_stale,
+            "prefetch.issued_calls": self.prefetch.issued_calls,
+            "prefetch.issued_pages": self.prefetch.issued_pages,
+            "prefetch.unnecessary_issued": self.prefetch.unnecessary_issued,
+            "prefetch.reclaimed": self.prefetch.reclaimed,
+            "prefetch.dropped": self.prefetch.dropped,
+            "prefetch.in_transit": self.prefetch.in_transit,
+            "prefetch.disk_reads": self.prefetch.disk_reads,
+            "release.calls": self.release.calls,
+            "release.pages_released": self.release.pages_released,
+            "release.writebacks": self.release.writebacks,
+            "release.noop": self.release.noop,
+            "disk.reads_fault": self.disk.reads_fault,
+            "disk.reads_prefetch": self.disk.reads_prefetch,
+            "disk.writes": self.disk.writes,
+            "disk.sequential": self.disk.sequential,
+            "disk.near": self.disk.near,
+            "disk.random": self.disk.random,
+            "memory.evictions": self.memory.evictions,
+            "memory.eviction_writebacks": self.memory.eviction_writebacks,
+        }
+        for name, value in counters.items():
+            reg.counter(name).inc(value)
+        gauges = {
+            "faults.coverage": self.faults.coverage,
+            "disk.utilization": self.disk.utilization(self.elapsed_us),
+            "memory.frames_total": self.memory.frames_total,
+            "memory.min_free": self.memory.min_free,
+            "memory.max_free": self.memory.max_free,
+            "memory.avg_free_fraction":
+                self.memory.avg_free_fraction(self.elapsed_us),
+        }
+        for name, value in gauges.items():
+            reg.gauge(name).set(value)
+        return reg

@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 
 from repro.config import PlatformConfig
+from repro.obs.trace import TraceKind
 from repro.sim.stats import DiskStats
 from repro.storage.disk import Disk
 from repro.storage.extent import ExtentLayout
@@ -30,13 +31,24 @@ class IOKind(enum.Enum):
 class DiskArray:
     """Seven disks (by default), round-robin striping, extent layout."""
 
-    def __init__(self, config: PlatformConfig) -> None:
+    def __init__(self, config: PlatformConfig, observer=None) -> None:
         self.config = config
         self.disks = [Disk(i, config.disk) for i in range(config.num_disks)]
         self.layout = ExtentLayout(config.num_disks)
         self.reads_fault = 0
         self.reads_prefetch = 0
         self.writes = 0
+        #: Attached :class:`repro.obs.Observer`, or None (tracing off).
+        self.obs = observer
+
+    def _observe_request(
+        self, disk: Disk, now: float, vpage: int, npages: int, why: str
+    ) -> None:
+        """Record one request's queue delay (call *before* submit)."""
+        delay = disk.queue_delay(now)
+        self.obs.disk_queue_delay.observe(delay)
+        self.obs.emit(now, TraceKind.DISK_REQUEST, vpage, npages,
+                      delay, f"disk{disk.index}:{why}")
 
     # ------------------------------------------------------------------
     # Segment registration
@@ -53,6 +65,9 @@ class DiskArray:
     def read_page(self, vpage: int, now: float, kind: IOKind) -> float:
         """Read one page; returns its completion time."""
         disk_idx, block = self.layout.locate(vpage)
+        if self.obs is not None:
+            self._observe_request(self.disks[disk_idx], now, vpage, 1,
+                                  kind.value)
         completion = self.disks[disk_idx].submit(now, block)
         if kind is IOKind.FAULT:
             self.reads_fault += 1
@@ -70,6 +85,9 @@ class DiskArray:
         """
         completions: list[tuple[int, float]] = []
         for disk_idx, block, count in self.layout.split_run(start_vpage, npages):
+            if self.obs is not None:
+                self._observe_request(self.disks[disk_idx], now, start_vpage,
+                                      count, kind.value)
             done = self.disks[disk_idx].submit(now, block, count)
             base = self.layout.extent_of(start_vpage).base_vpage
             ext_block0 = self.layout.extent_of(start_vpage).base_block
@@ -86,6 +104,9 @@ class DiskArray:
     def write_page(self, vpage: int, now: float) -> float:
         """Write one dirty page back; returns its completion time."""
         disk_idx, block = self.layout.locate(vpage)
+        if self.obs is not None:
+            self._observe_request(self.disks[disk_idx], now, vpage, 1,
+                                  IOKind.WRITE.value)
         completion = self.disks[disk_idx].submit(now, block)
         self.writes += 1
         return completion

@@ -35,6 +35,17 @@ class Disk:
         self.near_count: int = 0
         self.random_count: int = 0
 
+    def queue_delay(self, now: float) -> float:
+        """How long a request submitted now would wait before service.
+
+        This is the FIFO queue occupancy the observability layer samples
+        (``obs.disk_queue_delay_us`` and the ``disk_request`` trace
+        events): with completion-at-issue accounting the queue *is* the
+        remaining busy time.
+        """
+        delay = self.busy_until - now
+        return delay if delay > 0.0 else 0.0
+
     def submit(self, issue_time: float, block: int, npages: int = 1) -> float:
         """Enqueue a request for ``npages`` contiguous blocks at ``block``.
 

@@ -25,6 +25,7 @@ import enum
 
 from repro.config import PlatformConfig
 from repro.errors import MachineError
+from repro.obs.trace import TraceKind
 from repro.sim.clock import Clock, TimeCategory
 from repro.sim.stats import RunStats
 from repro.storage.array_ctl import DiskArray, IOKind
@@ -58,11 +59,14 @@ class MemoryManager:
         bitvector=None,
         readahead: bool = False,
         binding: bool = False,
+        observer=None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.disks = disks
         self.stats = stats
+        #: Attached :class:`repro.obs.Observer`, or None (tracing off).
+        self.obs = observer
         #: Residency bit vector shared with the run-time layer (may be None
         #: for runs without the run-time layer / without prefetching).
         self.bitvector = bitvector
@@ -158,6 +162,9 @@ class MemoryManager:
                 if victim is None:
                     break  # nothing evictable: competitor gets less
                 self.stats.memory.evictions += 1
+                if self.obs is not None:
+                    self.obs.emit(now, TraceKind.EVICTION, victim.vpage,
+                                  value=float(victim.dirty), tag="pressure")
                 if victim.dirty:
                     self.disks.write_page(victim.vpage, now)
                     self.stats.memory.eviction_writebacks += 1
@@ -224,6 +231,9 @@ class MemoryManager:
         if victim is None:
             raise MachineError("no frame available and no page is evictable")
         self.stats.memory.evictions += 1
+        if self.obs is not None:
+            self.obs.emit(self.clock.now, TraceKind.EVICTION, victim.vpage,
+                          value=float(victim.dirty), tag="fault")
         if victim.dirty:
             self.disks.write_page(victim.vpage, self.clock.now)
             self.stats.memory.eviction_writebacks += 1
@@ -256,6 +266,9 @@ class MemoryManager:
                 if victim is None:
                     break
             self.stats.memory.evictions += 1
+            if self.obs is not None:
+                self.obs.emit(self.clock.now, TraceKind.EVICTION, victim.vpage,
+                              value=float(victim.dirty), tag="daemon")
             if victim.dirty:
                 self.disks.write_page(victim.vpage, self.clock.now)
                 self.stats.memory.eviction_writebacks += 1
@@ -333,6 +346,11 @@ class MemoryManager:
                 page.used_since_arrival = True
                 page.prefetched_pending = False
                 self.stats.faults.prefetched_hit += 1
+                if self.obs is not None:
+                    now = self.clock.now
+                    self.obs.prefetch_to_use.observe(now - page.arrival_us)
+                    self.obs.emit(now, TraceKind.FAULT, vpage,
+                                  tag="prefetched_hit")
                 return AccessOutcome.PREFETCHED_HIT
             self.stats.faults.hits += 1
             return AccessOutcome.HIT
@@ -352,12 +370,22 @@ class MemoryManager:
                 # The read completed before the access: the OS mapped the
                 # page at I/O completion, so this is a fully hidden fault.
                 self.stats.faults.prefetched_hit += 1
+                if self.obs is not None:
+                    self.obs.prefetch_to_use.observe(clock.now - page.arrival_us)
+                    self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                                  tag="prefetched_hit")
                 return AccessOutcome.PREFETCHED_HIT
             # The access caught up with its own prefetch: it still traps,
             # but stalls only for the remaining latency.
+            use_ts = clock.now
             clock.advance(cost.fault_service_us, TimeCategory.SYS_FAULT)
-            clock.wait_until(page.arrival_us, TimeCategory.STALL_READ)
+            waited = clock.wait_until(page.arrival_us, TimeCategory.STALL_READ)
             self.stats.faults.prefetched_fault += 1
+            if self.obs is not None:
+                self.obs.prefetch_to_use.observe(use_ts - page.arrival_us)
+                self.obs.stall_latency.observe(waited)
+                self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                              value=waited, tag="prefetched_fault")
             return AccessOutcome.PREFETCHED_FAULT
 
         if state == PageState.FREELIST:
@@ -376,13 +404,15 @@ class MemoryManager:
             if self.bitvector is not None:
                 self.bitvector.set(vpage)
             self.stats.faults.reclaim_fault += 1
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.FAULT, vpage, tag="reclaim")
             return AccessOutcome.RECLAIM
 
         # ON_DISK: a full demand fault.
         clock.advance(cost.fault_service_us, TimeCategory.SYS_FAULT)
         self._obtain_frame_for_fault()
         completion = self.disks.read_page(vpage, clock.now, IOKind.FAULT)
-        clock.wait_until(completion, TimeCategory.STALL_READ)
+        waited = clock.wait_until(completion, TimeCategory.STALL_READ)
         page.state = PageState.RESIDENT
         page.via_prefetch = False
         page.used_since_arrival = True
@@ -398,8 +428,16 @@ class MemoryManager:
         if page.prefetched_pending:
             page.prefetched_pending = False
             self.stats.faults.prefetched_fault += 1
+            if self.obs is not None:
+                self.obs.stall_latency.observe(waited)
+                self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                              value=waited, tag="prefetched_fault")
             return AccessOutcome.PREFETCHED_FAULT
         self.stats.faults.nonprefetched_fault += 1
+        if self.obs is not None:
+            self.obs.stall_latency.observe(waited)
+            self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                          value=waited, tag="nonprefetched_fault")
         return AccessOutcome.NONPREFETCHED_FAULT
 
     def _check_binding_staleness(self, page) -> None:
@@ -455,6 +493,9 @@ class MemoryManager:
             for target in range(run_start, run_start + count):
                 self.pages[target].arrival_us = arrival[target]
             self.stats.prefetch.readahead_pages += count
+            if self.obs is not None:
+                self.obs.emit(self.clock.now, TraceKind.PREFETCH_ISSUED,
+                              run_start, count, tag="readahead")
             # The stream's next *fault* lands just past the window; treat
             # it as continuing the run (the window position is part of
             # the per-stream state, as in real readahead implementations).
@@ -493,9 +534,20 @@ class MemoryManager:
                 page.prefetched_pending = False
                 if page.arrival_us <= clock.now:
                     self.stats.faults.prefetched_hit += 1
+                    if self.obs is not None:
+                        self.obs.prefetch_to_use.observe(
+                            clock.now - page.arrival_us)
+                        self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                                      tag="prefetched_hit")
                     return clock.now
                 clock.advance(cost.fault_service_us, TimeCategory.SYS_FAULT)
                 self.stats.faults.prefetched_fault += 1
+                if self.obs is not None:
+                    blocked = page.arrival_us - clock.now
+                    self.obs.prefetch_to_use.observe(-blocked)
+                    self.obs.stall_latency.observe(blocked)
+                    self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                                  value=blocked, tag="prefetched_fault")
                 return page.arrival_us
             self.stats.faults.hits += 1
             return clock.now
@@ -511,9 +563,19 @@ class MemoryManager:
             self.ring.insert(page)
             if page.arrival_us <= clock.now:
                 self.stats.faults.prefetched_hit += 1
+                if self.obs is not None:
+                    self.obs.prefetch_to_use.observe(clock.now - page.arrival_us)
+                    self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                                  tag="prefetched_hit")
                 return clock.now
             clock.advance(cost.fault_service_us, TimeCategory.SYS_FAULT)
             self.stats.faults.prefetched_fault += 1
+            if self.obs is not None:
+                blocked = page.arrival_us - clock.now
+                self.obs.prefetch_to_use.observe(-blocked)
+                self.obs.stall_latency.observe(blocked)
+                self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                              value=blocked, tag="prefetched_fault")
             return page.arrival_us
 
         if state == PageState.FREELIST:
@@ -530,6 +592,8 @@ class MemoryManager:
             if self.bitvector is not None:
                 self.bitvector.set(vpage)
             self.stats.faults.reclaim_fault += 1
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.FAULT, vpage, tag="reclaim")
             return clock.now
 
         # ON_DISK: demand fault without the wait.
@@ -551,8 +615,15 @@ class MemoryManager:
         if page.prefetched_pending:
             page.prefetched_pending = False
             self.stats.faults.prefetched_fault += 1
+            tag = "prefetched_fault"
         else:
             self.stats.faults.nonprefetched_fault += 1
+            tag = "nonprefetched_fault"
+        if self.obs is not None:
+            blocked = max(0.0, completion - clock.now)
+            self.obs.stall_latency.observe(blocked)
+            self.obs.emit(clock.now, TraceKind.FAULT, vpage,
+                          value=blocked, tag=tag)
         return completion
 
     # ------------------------------------------------------------------
@@ -614,6 +685,9 @@ class MemoryManager:
             for pg in run_pages:
                 pg.arrival_us = arrival_by_vpage[pg.vpage]
             pstats.disk_reads += len(run_pages)
+            if self.obs is not None:
+                self.obs.emit(clock.now, TraceKind.PREFETCH_ISSUED,
+                              run_start, len(run_pages))
             run_start = None
             run_pages = []
 
@@ -631,9 +705,15 @@ class MemoryManager:
                 self._bound_versions[vpage] = page.version
             if state == PageState.RESIDENT:
                 pstats.unnecessary_issued += 1
+                if self.obs is not None:
+                    self.obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
+                                  vpage, tag="resident")
                 flush_run()
             elif state == PageState.IN_TRANSIT:
                 pstats.in_transit += 1
+                if self.obs is not None:
+                    self.obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
+                                  vpage, tag="in_transit")
                 flush_run()
             elif state == PageState.FREELIST:
                 if not self.frames.reclaim(vpage):
@@ -649,6 +729,8 @@ class MemoryManager:
                 if self.bitvector is not None:
                     self.bitvector.set(vpage)
                 pstats.reclaimed += 1
+                if self.obs is not None:
+                    self.obs.emit(clock.now, TraceKind.PREFETCH_RECLAIMED, vpage)
                 flush_run()
             else:  # ON_DISK
                 page.prefetched_pending = True
@@ -667,6 +749,9 @@ class MemoryManager:
                     run_pages.append(page)
                 else:
                     pstats.dropped += 1
+                    if self.obs is not None:
+                        self.obs.emit(clock.now, TraceKind.PREFETCH_DROPPED,
+                                      vpage)
                     flush_run()
         flush_run()
 
@@ -683,6 +768,7 @@ class MemoryManager:
     def _release_pages(self, vpages: list[int]) -> None:
         clock = self.clock
         rstats = self.stats.release
+        released = writebacks = 0
         for vpage in vpages:
             page = self.pages.get(vpage)
             if page is None or page.state != PageState.RESIDENT:
@@ -700,6 +786,7 @@ class MemoryManager:
             if page.dirty:
                 self.disks.write_page(vpage, clock.now)
                 rstats.writebacks += 1
+                writebacks += 1
                 page.dirty = False
             self.ring.forget(page)
             page.state = PageState.FREELIST
@@ -708,6 +795,10 @@ class MemoryManager:
             if self.bitvector is not None:
                 self.bitvector.clear(vpage)
             rstats.pages_released += 1
+            released += 1
+        if self.obs is not None and vpages:
+            self.obs.emit(clock.now, TraceKind.RELEASE, vpages[0],
+                          released, float(writebacks))
 
     # ------------------------------------------------------------------
     # Run boundary helpers

@@ -1,0 +1,52 @@
+"""The docs/observability.md lint, run as part of the suite.
+
+``scripts/check_docs.py`` cross-checks the doc's event-kind and metric
+reference tables against ``repro.obs``; these tests run the same check
+under pytest (so CI catches drift either way) and pin the parser's
+behaviour.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    path = REPO_ROOT / "scripts" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_match_code(check_docs):
+    assert check_docs.check() == []
+
+
+def test_parser_finds_both_tables(check_docs):
+    tokens = check_docs.documented_tokens()
+    assert "fault" in tokens["kinds"]
+    assert "disk_request" in tokens["kinds"]
+    assert "time.elapsed_us" in tokens["metrics"]
+    assert "obs.stall_latency_us" in tokens["metrics"]
+
+
+def test_lint_catches_drift(check_docs, tmp_path):
+    """Removing a documented row or inventing one must fail the lint."""
+    doc = (REPO_ROOT / "docs" / "observability.md").read_text()
+    mutated = tmp_path / "observability.md"
+
+    mutated.write_text(doc.replace("| `fault` |", "| `fault_renamed` |"))
+    problems = check_docs.check(mutated)
+    assert any("fault_renamed" in p for p in problems)
+    assert any("'fault'" in p for p in problems)
+
+    mutated.write_text(
+        doc.replace("| `time.elapsed_us` |", "| `time.bogus_us` |")
+    )
+    problems = check_docs.check(mutated)
+    assert any("time.bogus_us" in p for p in problems)

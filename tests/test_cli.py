@@ -92,6 +92,67 @@ class TestCli:
         assert "EMBAR#0" in out and "BUK#1" in out
         assert "(machine)" in out
 
+    def test_trace_subcommand(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(["--memory-pages", "96", "trace", "--app", "embar",
+                     "--pages", "120", "--out", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+        assert "event kind" in out
+        with open(trace) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+        with open(metrics) as fh:
+            payload = json.load(fh)
+        assert "faults.prefetched_hit" in payload["metrics"]
+
+    def test_trace_buffer_wraparound_reported(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(["--memory-pages", "96", "trace", "--app", "embar",
+                     "--pages", "120", "--out", str(trace),
+                     "--trace-buffer", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped by ring wraparound" in out
+
+    def test_run_with_trace_flags(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["--memory-pages", "96", "run", "EMBAR", "--pages", "120",
+                     "--trace", str(trace), "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "elapsed" in out and "trace:" in out and "metrics:" in out
+        with open(trace) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+    def test_run_observed_matches_unobserved(self, capsys, tmp_path):
+        """--trace must not change the simulated result."""
+        assert main(["--memory-pages", "96", "run", "EMBAR",
+                     "--pages", "120"]) == 0
+        bare = capsys.readouterr().out
+        assert main(["--memory-pages", "96", "run", "EMBAR", "--pages", "120",
+                     "--trace", str(tmp_path / "t.json")]) == 0
+        seen = capsys.readouterr().out
+        bare_elapsed = next(l for l in bare.splitlines() if "elapsed" in l)
+        seen_elapsed = next(l for l in seen.splitlines() if "elapsed" in l)
+        assert bare_elapsed == seen_elapsed
+
+    def test_compare_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        assert main(["--memory-pages", "96", "compare", "EMBAR",
+                     "--pages", "140", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "speedup vs O" in out
+        assert trace.exists()
+
     def test_size_class(self, capsys):
         assert main(["--memory-pages", "128", "run", "EMBAR",
                      "--size-class", "S", "--variant", "o"]) == 0
