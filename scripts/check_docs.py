@@ -1,15 +1,19 @@
 #!/usr/bin/env python
-"""Lint: docs/observability.md must match the code, both ways.
+"""Lint: reference tables in docs/ must match the code, both ways.
 
-The observability doc contains two authoritative reference tables:
+Three authoritative reference tables are checked:
 
-* **Event schema reference** -- one row per ``TraceKind`` value;
-* **Metric reference** -- one row per name in ``RUN_METRIC_NAMES`` +
-  ``OBS_METRIC_NAMES``.
+* **Event schema reference** (docs/observability.md) -- one row per
+  ``TraceKind`` value;
+* **Metric reference** (docs/observability.md) -- one row per name in
+  ``RUN_METRIC_NAMES`` + ``OBS_METRIC_NAMES``;
+* **FaultPlan schema reference** (docs/robustness.md) -- one row per
+  field of the fault-plan dataclasses (``FaultPlan``, ``DiskFaultSpec``,
+  ``SlowWindow``, ``PressureStorm``).
 
 This script parses those sections (and only those sections -- other
-tables in the doc may legitimately backtick other things) and fails
-when a kind or metric exists in code but is undocumented, or is
+tables in the docs may legitimately backtick other things) and fails
+when a kind / metric / field exists in code but is undocumented, or is
 documented but no longer exists.  CI runs it next to the test suite;
 ``tests/test_check_docs.py`` runs the same check under pytest.
 
@@ -26,6 +30,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "observability.md"
+ROBUSTNESS_DOC_PATH = REPO_ROOT / "docs" / "robustness.md"
 
 #: Section heading -> what its table's first column enumerates.
 SECTIONS = {
@@ -58,7 +63,42 @@ def documented_tokens(doc_path: Path = DOC_PATH) -> dict[str, set[str]]:
     return tokens
 
 
-def check(doc_path: Path = DOC_PATH) -> list[str]:
+def documented_plan_fields(doc_path: Path = ROBUSTNESS_DOC_PATH) -> set[str]:
+    """First-column tokens of the FaultPlan schema table.
+
+    Nested fields are documented as ``owner.field`` (for example
+    ``disks.read_error_rate``); top-level ``FaultPlan`` fields are bare.
+    """
+    heading = "## FaultPlan schema reference"
+    doc = doc_path.read_text()
+    if heading not in doc:
+        raise SystemExit(f"{doc_path}: missing section {heading!r}")
+    fields = set()
+    for line in _section_text(doc, heading).splitlines():
+        match = _ROW_TOKEN.match(line.strip())
+        if match:
+            fields.add(match.group(1))
+    return fields
+
+
+def plan_fields_in_code() -> set[str]:
+    """Every fault-plan dataclass field, named as the doc table names it."""
+    import dataclasses
+
+    from repro.faults.plan import DiskFaultSpec, FaultPlan, PressureStorm, SlowWindow
+
+    fields = {f.name for f in dataclasses.fields(FaultPlan)}
+    for owner, cls in (("disks", DiskFaultSpec),
+                       ("disks.slow_windows", SlowWindow),
+                       ("storms", PressureStorm)):
+        fields |= {f"{owner}.{f.name}" for f in dataclasses.fields(cls)}
+    return fields
+
+
+def check(
+    doc_path: Path = DOC_PATH,
+    robustness_doc_path: Path = ROBUSTNESS_DOC_PATH,
+) -> list[str]:
     """Returns a list of problems; empty means docs and code agree."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.obs.metrics import OBS_METRIC_NAMES, RUN_METRIC_NAMES
@@ -78,6 +118,13 @@ def check(doc_path: Path = DOC_PATH) -> list[str]:
     for stale in sorted(doc["metrics"] - code_metrics):
         problems.append(f"metric {stale!r} is documented but not in code")
 
+    code_fields = plan_fields_in_code()
+    doc_fields = documented_plan_fields(robustness_doc_path)
+    for missing in sorted(code_fields - doc_fields):
+        problems.append(f"fault-plan field {missing!r} is in code but not documented")
+    for stale in sorted(doc_fields - code_fields):
+        problems.append(f"fault-plan field {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
     overlap = set(RUN_METRIC_NAMES) & set(OBS_METRIC_NAMES)
@@ -94,7 +141,8 @@ def main() -> int:
         return 1
     tokens = documented_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
-          f"{len(tokens['metrics'])} metrics in sync)")
+          f"{len(tokens['metrics'])} metrics, "
+          f"{len(documented_plan_fields())} fault-plan fields in sync)")
     return 0
 
 

@@ -10,11 +10,16 @@
     python -m repro sweep BUK --multiples 0.5,1,2,3   # Figure-8 style
     python -m repro multiprog EMBAR,MGRID     # co-schedule two applications
     python -m repro trace --app embar --out trace.json   # record a run
+    python -m repro chaos EMBAR --quick       # fault-injection sweep
 
 ``run`` and ``compare`` additionally accept ``--trace FILE`` (Chrome
 trace_event JSON, Perfetto-loadable) and ``--metrics-out FILE`` (the
 metrics-registry JSON artifact); ``trace`` is the dedicated front door
 for both.  See docs/observability.md.
+
+``run``, ``compare``, and ``chaos`` accept ``--faults PLAN.json`` and
+``--fault-seed N`` to execute under deterministic injected faults; see
+docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -27,9 +32,16 @@ from repro.apps.registry import ALL_APPS, get_app, table2_rows
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
+from repro.faults import FaultPlan, default_plan, load_plan
 from repro.harness.experiment import compare_app, default_data_pages, run_variant
 from repro.harness.report import render_table
-from repro.obs import Observer, write_chrome_trace, write_metrics_json
+from repro.obs import (
+    Observer,
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
 from repro.sim.stats import RunStats
 
 
@@ -86,6 +98,24 @@ def _print_stats(stats: RunStats, registry=None) -> None:
         ["avg free memory", f"{100 * v('memory.avg_free_fraction'):.1f} %"],
     ]
     print(render_table(["metric", "value"], rows))
+
+
+def _fault_plan_from_args(
+    args: argparse.Namespace, platform: PlatformConfig
+) -> FaultPlan | None:
+    """The plan behind ``--faults`` / ``--fault-seed`` (None = clean run).
+
+    ``--fault-seed`` alone selects :func:`repro.faults.default_plan`;
+    combined with ``--faults`` it reseeds the loaded plan.
+    """
+    plan = None
+    if getattr(args, "faults", None):
+        plan = load_plan(args.faults)
+        if args.fault_seed is not None:
+            plan = plan.with_seed(args.fault_seed)
+    elif getattr(args, "fault_seed", None) is not None:
+        plan = default_plan(platform.num_disks, seed=args.fault_seed)
+    return plan
 
 
 def _make_observer(args: argparse.Namespace) -> Observer | None:
@@ -161,6 +191,7 @@ def _run_one_variant(
     args: argparse.Namespace,
     platform: PlatformConfig,
     observer: Observer | None,
+    fault_plan: FaultPlan | None = None,
 ) -> tuple[str, int, RunStats]:
     """Build, (maybe) compile, and execute one variant of one app."""
     spec = get_app(args.app)
@@ -169,7 +200,8 @@ def _run_one_variant(
     variant = args.variant.lower()
     if variant == "o":
         stats = run_variant(program, platform, prefetching=False,
-                            warm=args.warm, observer=observer)
+                            warm=args.warm, observer=observer,
+                            fault_plan=fault_plan)
     else:
         options = CompilerOptions.from_platform(platform)
         compiled = insert_prefetches(program, options)
@@ -181,6 +213,7 @@ def _run_one_variant(
             warm=args.warm,
             adaptive=variant == "adaptive",
             observer=observer,
+            fault_plan=fault_plan,
         )
     return spec.name, pages, stats
 
@@ -188,16 +221,23 @@ def _run_one_variant(
 def cmd_run(args: argparse.Namespace) -> int:
     platform = _platform_from_args(args)
     observer = _make_observer(args)
-    name, pages, stats = _run_one_variant(args, platform, observer)
+    fault_plan = _fault_plan_from_args(args, platform)
+    name, pages, stats = _run_one_variant(args, platform, observer, fault_plan)
     print(f"{name} [{args.variant.upper()}] at {pages} data pages "
-          f"({'warm' if args.warm else 'cold'} start)")
+          f"({'warm' if args.warm else 'cold'} start"
+          + (", faulted" if fault_plan is not None else "") + ")")
     _print_stats(stats, observer.metrics if observer else None)
     _write_observations(args, observer)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Record one run and emit the trace / metrics artifacts."""
+    """Record one run and emit the trace / metrics artifacts.
+
+    Exits non-zero when the recorded trace fails its own schema
+    validator -- the artifacts are still written so the bad trace can
+    be inspected.
+    """
     platform = _platform_from_args(args)
     observer = Observer(capacity=args.trace_buffer)
     name, pages, stats = _run_one_variant(args, platform, observer)
@@ -208,6 +248,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     rows = [[kind, counts[kind]] for kind in sorted(counts)]
     print(render_table(["event kind", "count"], rows))
     _write_observations(args, observer)
+    problems = validate_chrome_trace(chrome_trace(observer.trace))
+    if problems:
+        for problem in problems:
+            print(f"trace validation: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -227,6 +272,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         include_nofilter=args.nofilter,
         include_adaptive=args.adaptive,
         observer=observer,
+        fault_plan=_fault_plan_from_args(args, platform),
     )
     rows = []
     variants = [result.original, result.prefetch] + list(result.extras.values())
@@ -316,6 +362,54 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Sweep fault intensities and print the degradation table."""
+    from repro.faults.chaos import chaos_sweep
+
+    if args.quick:
+        # CI smoke mode: a small out-of-core footprint, one intensity.
+        args.memory_pages = args.memory_pages or 96
+        args.pages = args.pages or 120
+    platform = _platform_from_args(args)
+    spec = get_app(args.app)
+    if args.intensities is not None:
+        spec_intensities = args.intensities
+    else:
+        spec_intensities = "1.0" if args.quick else "0.25,0.5,1.0"
+    intensities = [float(x) for x in spec_intensities.split(",") if x.strip()]
+    report = chaos_sweep(
+        spec,
+        platform,
+        base_plan=_fault_plan_from_args(args, platform),
+        intensities=intensities,
+        data_pages=args.pages or None,
+        seed=args.seed,
+        variant=args.variant.lower(),
+    )
+    rows = [[
+        "0 (clean)", f"{report.clean.elapsed_us / 1e6:.3f} s",
+        "1.00x", "-", "-", "-", "-",
+    ]]
+    for row in report.rows:
+        rows.append([
+            f"{row.intensity:g}",
+            f"{row.elapsed_us / 1e6:.3f} s",
+            f"{report.slowdown(row):.2f}x",
+            f"{100 * row.drop_rate:.1f} %",
+            row.retries,
+            row.degraded_requests,
+            row.fallback_episodes,
+        ])
+    print(render_table(
+        ["intensity", "elapsed", "slowdown", "hints dropped",
+         "retries", "degraded I/O", "fallbacks"],
+        rows,
+        title=(f"{spec.name} [{args.variant.upper()}] chaos sweep "
+               f"at {report.data_pages} data pages"),
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -353,12 +447,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace-buffer", type=int, default=65536,
                        help="trace ring-buffer capacity in events")
 
+    def add_fault_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--faults", metavar="FILE",
+                       help="fault plan JSON to inject (docs/robustness.md)")
+        p.add_argument("--fault-seed", type=int, default=None,
+                       help="reseed the plan (alone: use the default plan)")
+
     p = sub.add_parser("run", help="execute one variant")
     add_app_args(p)
     p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
                    default="p")
     p.add_argument("--warm", action="store_true", help="preload the data set")
     add_obs_args(p)
+    add_fault_args(p)
 
     p = sub.add_parser("compare", help="run original vs prefetching")
     add_app_args(p)
@@ -368,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adaptive", action="store_true",
                    help="also run with adaptive suppression")
     add_obs_args(p)
+    add_fault_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -405,6 +507,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-process data pages (default ~2x memory)")
     p.add_argument("--quantum", type=float, default=20_000.0,
                    help="scheduler quantum in microseconds")
+
+    p = sub.add_parser(
+        "chaos",
+        help="fault-intensity sweep with a degradation table",
+        description="Run one application clean and under a fault plan "
+                    "scaled to each intensity, and report slowdown, "
+                    "dropped hints, retries, degraded I/O, and fallback "
+                    "episodes (see docs/robustness.md).",
+    )
+    add_app_args(p)
+    p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
+                   default="p")
+    p.add_argument("--intensities", default=None,
+                   help="comma-separated fault intensities "
+                        "(default 0.25,0.5,1.0; --quick: 1.0)")
+    add_fault_args(p)
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: small footprint, one intensity")
     return parser
 
 
@@ -417,6 +537,7 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "multiprog": cmd_multiprog,
     "trace": cmd_trace,
+    "chaos": cmd_chaos,
 }
 
 

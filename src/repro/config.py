@@ -63,6 +63,24 @@ class DiskParameters:
     #: this window, as it would under a real elevator scheduler).
     near_window_blocks: int = 128
 
+    def __post_init__(self) -> None:
+        # Zero seek / rotation is legal (the DSM profile is position
+        # independent), but negative time is not, and the transfer term
+        # must stay positive so every service time is > 0.
+        for name in ("avg_seek_us", "short_seek_us", "rotational_us",
+                     "command_overhead_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigError(f"disk parameter {name!r} must be >= 0, got {value}")
+        if self.transfer_us_per_page <= 0:
+            raise ConfigError(
+                f"transfer_us_per_page must be > 0, got {self.transfer_us_per_page}"
+            )
+        if self.near_window_blocks < 0:
+            raise ConfigError(
+                f"near_window_blocks must be >= 0, got {self.near_window_blocks}"
+            )
+
     def random_service_us(self, pages: int = 1) -> float:
         """Service time for a random access of ``pages`` contiguous pages."""
         return (

@@ -1,0 +1,133 @@
+"""The chaos harness: sweep fault intensities, report the degradation.
+
+``chaos_sweep`` compiles one application once, runs it clean, then runs
+it again under ``base_plan.scaled(i)`` for each requested intensity.
+Every run uses the same program, platform, and workload seed, so the
+whole table isolates the cost of the injected faults.  The CLI front
+door is ``python -m repro chaos`` (see docs/robustness.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import AppSpec
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan, default_plan
+from repro.harness.experiment import default_data_pages, run_variant
+from repro.sim.stats import RunStats
+
+
+def dropped_hint_pages(stats: RunStats) -> int:
+    """Prefetch pages that never reached the OS because of hint faults.
+
+    Every compiler-inserted page is either filtered, suppressed, issued
+    to the OS, or lost to a failed/gated hint call; the conservation
+    identity makes the loss directly computable from the run's stats.
+    """
+    p = stats.prefetch
+    return max(0, p.compiler_inserted - p.filtered - p.suppressed - p.issued_pages)
+
+
+@dataclass
+class ChaosRow:
+    """One faulted run of the sweep."""
+
+    intensity: float
+    plan: FaultPlan
+    stats: RunStats
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.stats.elapsed_us
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of compiler-inserted prefetch pages lost to faults."""
+        inserted = self.stats.prefetch.compiler_inserted
+        if inserted == 0:
+            return 0.0
+        return dropped_hint_pages(self.stats) / inserted
+
+    @property
+    def retries(self) -> int:
+        return self.stats.disk.retries
+
+    @property
+    def degraded_requests(self) -> int:
+        return self.stats.disk.degraded_reads + self.stats.disk.degraded_writes
+
+    @property
+    def fallback_episodes(self) -> int:
+        return self.stats.robust.fallback_episodes
+
+
+@dataclass
+class ChaosReport:
+    """The clean baseline plus one row per fault intensity."""
+
+    app: str
+    variant: str
+    data_pages: int
+    clean: RunStats
+    rows: list[ChaosRow]
+
+    def slowdown(self, row: ChaosRow) -> float:
+        return row.elapsed_us / self.clean.elapsed_us if self.clean.elapsed_us else 1.0
+
+
+def chaos_sweep(
+    spec: AppSpec,
+    platform: PlatformConfig,
+    base_plan: FaultPlan | None = None,
+    intensities: Sequence[float] = (0.25, 0.5, 1.0),
+    data_pages: int | None = None,
+    seed: int = 1,
+    variant: str = "p",
+) -> ChaosReport:
+    """Run one app clean and at each fault intensity of ``base_plan``.
+
+    ``variant`` follows the CLI's run command: ``o`` (no prefetching),
+    ``p`` (the default), ``nofilter``, or ``adaptive``.  With no
+    ``base_plan``, :func:`repro.faults.plan.default_plan` supplies a
+    representative all-taxonomy plan sized to the platform's array.
+    """
+    if not intensities:
+        raise ConfigError("chaos sweep needs at least one intensity")
+    if data_pages is None:
+        data_pages = default_data_pages(platform, spec.default_memory_multiple)
+    if base_plan is None:
+        base_plan = default_plan(platform.num_disks, seed=seed)
+    program = spec.make(data_pages, seed=seed)
+    prefetching = variant != "o"
+    if prefetching:
+        options = CompilerOptions.from_platform(platform)
+        program = insert_prefetches(program, options).program
+
+    def execute(plan: FaultPlan | None) -> RunStats:
+        return run_variant(
+            program,
+            platform,
+            prefetching=prefetching,
+            runtime_filter=variant != "nofilter",
+            adaptive=variant == "adaptive",
+            fault_plan=plan,
+        )
+
+    clean = execute(None)
+    rows = []
+    for intensity in intensities:
+        plan = base_plan.scaled(intensity)
+        stats = execute(None if plan.is_noop() else plan)
+        rows.append(ChaosRow(intensity=intensity, plan=plan, stats=stats))
+    return ChaosReport(
+        app=spec.name,
+        variant=variant,
+        data_pages=data_pages,
+        clean=clean,
+        rows=rows,
+    )

@@ -79,13 +79,16 @@ def run_variant(
     adaptive: bool = False,
     os_readahead: bool = False,
     observer=None,
+    fault_plan=None,
 ) -> RunStats:
     """Execute one program variant on a fresh machine.
 
     Passing a :class:`repro.obs.Observer` records the run: trace events
     go to ``observer.trace`` and the finished stats are published into
     ``observer.metrics`` (so ``--trace`` / ``--metrics-out`` artifacts
-    come straight off the observer).
+    come straight off the observer).  Passing a
+    :class:`repro.faults.FaultPlan` runs the variant under injected
+    faults (seeded, deterministic; see docs/robustness.md).
     """
     machine = Machine(
         platform,
@@ -94,6 +97,7 @@ def run_variant(
         adaptive_prefetch=adaptive,
         os_readahead=os_readahead,
         observer=observer,
+        fault_plan=fault_plan,
     )
     executor = Executor(machine, warm_start=warm)
     stats = executor.run(program)
@@ -114,12 +118,16 @@ def compare_app(
     include_adaptive: bool = False,
     include_readahead: bool = False,
     observer=None,
+    fault_plan=None,
 ) -> ComparisonResult:
     """Run O and P (optionally P-nofilter, P-adaptive, O-readahead).
 
     An ``observer`` records the **P** run only -- the prefetching
     variant is the one whose schedule the trace exists to debug; the
     other variants run unobserved so their timings stay comparable.
+    A ``fault_plan`` applies to *every* variant so the comparison is a
+    faulted-vs-faulted one (each variant gets its own injector, so the
+    seeded fault streams are identical across variants).
     """
     if data_pages is None:
         data_pages = default_data_pages(platform, spec.default_memory_multiple)
@@ -127,9 +135,10 @@ def compare_app(
     options = options or CompilerOptions.from_platform(platform)
     compiled = insert_prefetches(program, options)
 
-    o_stats = run_variant(program, platform, prefetching=False, warm=warm)
+    o_stats = run_variant(program, platform, prefetching=False, warm=warm,
+                          fault_plan=fault_plan)
     p_stats = run_variant(compiled.program, platform, prefetching=True, warm=warm,
-                          observer=observer)
+                          observer=observer, fault_plan=fault_plan)
     result = ComparisonResult(
         app=spec.name,
         data_pages=data_pages,
@@ -140,7 +149,7 @@ def compare_app(
     if include_nofilter:
         nf_stats = run_variant(
             compiled.program, platform, prefetching=True,
-            runtime_filter=False, warm=warm,
+            runtime_filter=False, warm=warm, fault_plan=fault_plan,
         )
         result.extras["P-nofilter"] = RunResult(
             spec.name, "P-nofilter", nf_stats, warm, data_pages
@@ -148,7 +157,7 @@ def compare_app(
     if include_adaptive:
         ad_stats = run_variant(
             compiled.program, platform, prefetching=True,
-            warm=warm, adaptive=True,
+            warm=warm, adaptive=True, fault_plan=fault_plan,
         )
         result.extras["P-adaptive"] = RunResult(
             spec.name, "P-adaptive", ad_stats, warm, data_pages
@@ -156,7 +165,7 @@ def compare_app(
     if include_readahead:
         ra_stats = run_variant(
             program, platform, prefetching=False, warm=warm,
-            os_readahead=True,
+            os_readahead=True, fault_plan=fault_plan,
         )
         result.extras["O-readahead"] = RunResult(
             spec.name, "O-readahead", ra_stats, warm, data_pages

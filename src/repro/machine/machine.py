@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.config import PlatformConfig
 from repro.errors import MachineError
+from repro.faults.inject import FaultInjector, LaggedBitVector
 from repro.obs.trace import TraceKind
 from repro.runtime.layer import RuntimeLayer
 from repro.sim.clock import Clock, TimeCategory
@@ -39,6 +40,7 @@ class Machine:
         os_readahead: bool = False,
         binding_prefetch: bool = False,
         observer=None,
+        fault_plan=None,
     ) -> None:
         self.config = config or PlatformConfig()
         self.clock = Clock()
@@ -46,14 +48,28 @@ class Machine:
         #: Attached :class:`repro.obs.Observer`, or None.  Every layer
         #: below shares this one reference; tracing is off when unset.
         self.obs = observer
+        #: Active :class:`repro.faults.FaultInjector`, or None.  Fault
+        #: injection is strictly opt-in: without a plan, no injector
+        #: exists and every layer runs its unfaulted code path.
+        self.injector = (
+            FaultInjector(fault_plan, self.config.num_disks)
+            if fault_plan is not None else None
+        )
         self.address_space = AddressSpace(self.config.page_size)
-        self.disks = DiskArray(self.config, observer=observer)
+        self.disks = DiskArray(
+            self.config, observer=observer,
+            faults=self.injector.storage if self.injector is not None else None,
+        )
         self.manager = MemoryManager(
             self.config, self.clock, self.disks, self.stats,
             readahead=os_readahead,
             binding=binding_prefetch,
             observer=observer,
         )
+        if self.injector is not None:
+            for at_us, frames, hold_us in self.injector.storm_bursts():
+                self.manager.schedule_pressure(at_us, frames, hold_us)
+                self.stats.robust.storm_bursts += 1
         self.prefetching = prefetching
         self.runtime: RuntimeLayer | None = None
         if prefetching:
@@ -63,6 +79,15 @@ class Machine:
                 adaptive=adaptive_prefetch,
                 observer=observer,
             )
+            if self.injector is not None:
+                self.runtime.hint_faults = self.injector.hints
+                if self.injector.plan.bitvector_lag_us > 0:
+                    lagged = LaggedBitVector(
+                        self.runtime.bitvector, self.clock,
+                        self.injector.plan.bitvector_lag_us,
+                    )
+                    self.runtime.bitvector = lagged
+                    self.manager.bitvector = lagged
         self._finished = False
 
     # ------------------------------------------------------------------
@@ -139,9 +164,13 @@ class Machine:
         # attached observer must also see every request (the filter
         # events are part of the trace), so tracing runs take the layer
         # path too -- it charges identical costs, only wall-clock slows.
+        # Fault injection likewise disables the fast path: the fallback
+        # gate must consume every request, and a lagged bit vector makes
+        # the cached ``raw`` list stale.
         filter_on = (
             runtime is not None and runtime.filter_enabled
             and not runtime.adaptive and obs is None
+            and self.injector is None
         )
         bits = runtime.bitvector.raw if filter_on else None
         granularity = runtime.bitvector.granularity if filter_on else 1

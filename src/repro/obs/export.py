@@ -37,7 +37,11 @@ KIND_LAYER: dict[TraceKind, str] = {
     TraceKind.EVICTION: "vm",
     TraceKind.PREFETCH_FILTERED: "runtime",
     TraceKind.PREFETCH_SUPPRESSED: "runtime",
+    TraceKind.HINT_FAILED: "runtime",
+    TraceKind.HINT_FALLBACK: "runtime",
     TraceKind.DISK_REQUEST: "disk",
+    TraceKind.DISK_RETRY: "disk",
+    TraceKind.DISK_DEGRADED: "disk",
 }
 
 

@@ -253,6 +253,13 @@ RUN_METRIC_NAMES: tuple[str, ...] = (
     "disk.near",
     "disk.random",
     "disk.utilization",
+    "robust.disk_retries",
+    "robust.degraded_reads",
+    "robust.degraded_writes",
+    "robust.hint_failures",
+    "robust.fallback_episodes",
+    "robust.hints_skipped",
+    "robust.storm_bursts",
     "memory.frames_total",
     "memory.evictions",
     "memory.eviction_writebacks",
@@ -267,4 +274,5 @@ OBS_METRIC_NAMES: tuple[str, ...] = (
     "obs.stall_latency_us",
     "obs.prefetch_to_use_us",
     "obs.disk_queue_delay_us",
+    "obs.retry_backoff_us",
 )

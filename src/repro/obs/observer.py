@@ -24,7 +24,7 @@ class Observer:
     """Bundles the trace buffer and the metrics registry of one run."""
 
     __slots__ = ("trace", "metrics", "stall_latency", "prefetch_to_use",
-                 "disk_queue_delay")
+                 "disk_queue_delay", "retry_backoff")
 
     def __init__(
         self,
@@ -43,6 +43,9 @@ class Observer:
         )
         self.disk_queue_delay = self.metrics.histogram(
             "obs.disk_queue_delay_us", DEFAULT_BOUNDS_US
+        )
+        self.retry_backoff = self.metrics.histogram(
+            "obs.retry_backoff_us", DEFAULT_BOUNDS_US
         )
         assert all(name in self.metrics for name in OBS_METRIC_NAMES)
 

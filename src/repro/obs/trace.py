@@ -51,6 +51,17 @@ class TraceKind(str, enum.Enum):
     DISK_REQUEST = "disk_request"
     #: One vectorized event chunk replayed by the machine (npages = length).
     CHUNK = "chunk"
+    #: A transient read error retried with backoff (fault injection only).
+    DISK_RETRY = "disk_retry"
+    #: A request served via the penalized reconstruction path (dead disk
+    #: or retries exhausted; fault injection only).
+    DISK_DEGRADED = "disk_degraded"
+    #: A prefetch hint system call that failed / timed out (fault
+    #: injection only).
+    HINT_FAILED = "hint_failed"
+    #: The run-time layer entering or re-probing out of demand-paging
+    #: fallback (tag: "enter" or "reprobe"; fault injection only).
+    HINT_FALLBACK = "hint_fallback"
 
 
 class TraceEvent(NamedTuple):

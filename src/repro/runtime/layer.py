@@ -65,6 +65,10 @@ class RuntimeLayer:
         self.adaptive = adaptive
         self._filtered_streak = 0
         self._suppressed_remaining = 0
+        #: Attached :class:`repro.faults.inject.HintFaultState`, or None
+        #: (the default: hint calls never fail).  Set by the machine when
+        #: a fault plan with ``hint_failure_rate > 0`` is active.
+        self.hint_faults = None
         self.bitvector = ResidencyBitVector(config.bitvector_granularity)
         # Register with the OS: wire the shared page into the memory
         # manager so the OS side sets bits on faults and clears them on
@@ -102,6 +106,49 @@ class RuntimeLayer:
             self._suppressed_remaining = 0
 
     # ------------------------------------------------------------------
+    # Hint-call fault injection (active only under a FaultPlan)
+    # ------------------------------------------------------------------
+
+    def _hint_gate(self, npages: int) -> bool:
+        """Consume one request from the fallback state machine.
+
+        False means the layer is degraded to plain demand paging for
+        this request: no bit-vector check, no OS call.  Hints are
+        non-binding, so skipping them is always safe -- the pages fault
+        in on demand instead.
+        """
+        faults = self.hint_faults
+        was_fallback = faults.in_fallback
+        if not faults.gate():
+            self.stats.robust.hints_skipped += npages
+            return False
+        if was_fallback and self.obs is not None:
+            self.obs.emit(self.clock.now, TraceKind.HINT_FALLBACK,
+                          -1, npages, 0.0, "reprobe")
+        return True
+
+    def _hint_call_fails(self, start_vpage: int, npages: int) -> bool:
+        """Draw one failure at the OS boundary; charge the timeout if so."""
+        faults = self.hint_faults
+        if faults is None:
+            return False
+        if not faults.draw_failure():
+            faults.note_success()
+            return False
+        # The failed call still costs a (timed-out) kernel crossing.
+        self.clock.advance(faults.plan.hint_timeout_us, TimeCategory.SYS_PREFETCH)
+        self.stats.robust.hint_failures += 1
+        if self.obs is not None:
+            self.obs.emit(self.clock.now, TraceKind.HINT_FAILED,
+                          start_vpage, npages)
+        if faults.note_failure():
+            self.stats.robust.fallback_episodes += 1
+            if self.obs is not None:
+                self.obs.emit(self.clock.now, TraceKind.HINT_FALLBACK,
+                              start_vpage, npages, 0.0, "enter")
+        return True
+
+    # ------------------------------------------------------------------
     # Prefetch path
     # ------------------------------------------------------------------
 
@@ -112,7 +159,11 @@ class RuntimeLayer:
         pstats = self.stats.prefetch
         pstats.compiler_inserted += npages
         clock.advance(cost.addr_gen_us, TimeCategory.USER_OVERHEAD)
+        if self.hint_faults is not None and not self._hint_gate(npages):
+            return
         if not self.filter_enabled:
+            if self._hint_call_fails(start_vpage, npages):
+                return
             self.manager.prefetch_call(start_vpage, npages)
             return
         if self._suppression_active(npages):
@@ -142,6 +193,8 @@ class RuntimeLayer:
         if self.obs is not None and leading_resident:
             self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
                           start_vpage, leading_resident)
+        if self._hint_call_fails(first_missing, npages - leading_resident):
+            return
         self.manager.prefetch_call(first_missing, npages - leading_resident)
 
     def prefetch_release(
@@ -158,6 +211,11 @@ class RuntimeLayer:
         pstats = self.stats.prefetch
         pstats.compiler_inserted += npages
         clock.advance(cost.addr_gen_us, TimeCategory.USER_OVERHEAD)
+        if self.hint_faults is not None and not self._hint_gate(npages):
+            # Only the prefetch half degrades; the release must still
+            # reach the OS (only the OS can free the frames).
+            self.manager.release_call(release_vpages)
+            return
         first_missing = -1
         if self.filter_enabled:
             test = self.bitvector.test
@@ -182,6 +240,9 @@ class RuntimeLayer:
         if self.obs is not None and leading_resident:
             self.obs.emit(clock.now, TraceKind.PREFETCH_FILTERED,
                           start_vpage, leading_resident)
+        if self._hint_call_fails(first_missing, npages - leading_resident):
+            self.manager.release_call(release_vpages)
+            return
         self.manager.prefetch_release_call(
             first_missing, npages - leading_resident, release_vpages
         )

@@ -182,6 +182,13 @@ class DiskStats:
     #: Requests within the short-seek window.
     near: int = 0
     random: int = 0
+    #: Transient-read-error retries (fault injection only; zero otherwise).
+    retries: int = 0
+    #: Reads served via the penalized reconstruction path (dead disk or
+    #: retries exhausted).
+    degraded_reads: int = 0
+    #: Writes redirected to a surviving disk (never lost).
+    degraded_writes: int = 0
 
     @property
     def total_requests(self) -> int:
@@ -192,6 +199,25 @@ class DiskStats:
         if elapsed_us <= 0 or not self.busy_us:
             return 0.0
         return sum(self.busy_us) / (len(self.busy_us) * elapsed_us)
+
+
+@dataclass
+class RobustnessStats:
+    """Degraded-mode accounting of the run-time layer and the harness.
+
+    All zero unless a :class:`repro.faults.plan.FaultPlan` was active --
+    together with ``DiskStats.retries`` / ``degraded_*`` these are the
+    columns of the ``repro chaos`` degradation table.
+    """
+
+    #: Prefetch hint system calls that failed / timed out.
+    hint_failures: int = 0
+    #: Times the layer gave up on hints and fell back to demand paging.
+    fallback_episodes: int = 0
+    #: Prefetch pages skipped while a fallback cooldown was running.
+    hints_skipped: int = 0
+    #: Memory-pressure storm bursts scheduled by the fault plan.
+    storm_bursts: int = 0
 
 
 @dataclass
@@ -223,6 +249,7 @@ class RunStats:
     release: ReleaseStats = field(default_factory=ReleaseStats)
     disk: DiskStats = field(default_factory=DiskStats)
     memory: MemoryStats = field(default_factory=MemoryStats)
+    robust: RobustnessStats = field(default_factory=RobustnessStats)
     elapsed_us: float = 0.0
 
     @property
@@ -280,6 +307,13 @@ class RunStats:
             "disk.sequential": self.disk.sequential,
             "disk.near": self.disk.near,
             "disk.random": self.disk.random,
+            "robust.disk_retries": self.disk.retries,
+            "robust.degraded_reads": self.disk.degraded_reads,
+            "robust.degraded_writes": self.disk.degraded_writes,
+            "robust.hint_failures": self.robust.hint_failures,
+            "robust.fallback_episodes": self.robust.fallback_episodes,
+            "robust.hints_skipped": self.robust.hints_skipped,
+            "robust.storm_bursts": self.robust.storm_bursts,
             "memory.evictions": self.memory.evictions,
             "memory.eviction_writebacks": self.memory.eviction_writebacks,
         }

@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 
 from repro.config import PlatformConfig
+from repro.errors import MachineError
 from repro.obs.trace import TraceKind
 from repro.sim.stats import DiskStats
 from repro.storage.disk import Disk
@@ -31,7 +32,7 @@ class IOKind(enum.Enum):
 class DiskArray:
     """Seven disks (by default), round-robin striping, extent layout."""
 
-    def __init__(self, config: PlatformConfig, observer=None) -> None:
+    def __init__(self, config: PlatformConfig, observer=None, faults=None) -> None:
         self.config = config
         self.disks = [Disk(i, config.disk) for i in range(config.num_disks)]
         self.layout = ExtentLayout(config.num_disks)
@@ -40,6 +41,18 @@ class DiskArray:
         self.writes = 0
         #: Attached :class:`repro.obs.Observer`, or None (tracing off).
         self.obs = observer
+        #: Attached :class:`repro.faults.inject.StorageFaults`, or None.
+        #: When set, every submission routes through the degraded path:
+        #: transient read errors are retried with exponential backoff in
+        #: simulated time, and requests for a dead disk fall back to the
+        #: penalized reconstruction path on the surviving disks.
+        self.faults = faults
+        if faults is not None:
+            for index, state in faults.states.items():
+                self.disks[index].faults = state
+        self.retries = 0
+        self.degraded_reads = 0
+        self.degraded_writes = 0
 
     def _observe_request(
         self, disk: Disk, now: float, vpage: int, npages: int, why: str
@@ -62,13 +75,86 @@ class DiskArray:
     # Request submission
     # ------------------------------------------------------------------
 
+    def _submit(self, disk_idx: int, block: int, npages: int, now: float,
+                vpage: int, why: str, is_read: bool) -> float:
+        """Submit one request, routing through fault handling when armed."""
+        disk = self.disks[disk_idx]
+        if self.faults is None:
+            if self.obs is not None:
+                self._observe_request(disk, now, vpage, npages, why)
+            return disk.submit(now, block, npages)
+        return self._submit_faulted(disk, block, npages, now, vpage, why, is_read)
+
+    def _submit_faulted(self, disk: Disk, block: int, npages: int, now: float,
+                        vpage: int, why: str, is_read: bool) -> float:
+        """The degraded submission path: dead disks, retries, backoff.
+
+        A transient read error is discovered when the (failed) service
+        completes; the retry is re-submitted after an exponentially
+        growing backoff, all in simulated time, so the whole schedule is
+        still known at issue -- the completion-at-issue design of the
+        clean path is preserved.  After ``max_retries`` failures the
+        read falls back to reconstruction, as if the block had to be
+        rebuilt from the surviving disks.
+        """
+        state = self.faults.state(disk.index)
+        plan = self.faults.plan
+        if state is not None and state.dead(now):
+            return self._reconstruct(disk, block, npages, now, vpage, why, is_read)
+        if self.obs is not None:
+            self._observe_request(disk, now, vpage, npages, why)
+        completion = disk.submit(now, block, npages)
+        if not is_read or state is None:
+            return completion
+        attempt = 0
+        while state.draw_read_error():
+            if attempt >= plan.max_retries:
+                return self._reconstruct(disk, block, npages, completion,
+                                         vpage, why, is_read)
+            backoff = plan.retry_backoff_us * (2.0 ** attempt)
+            attempt += 1
+            self.retries += 1
+            if self.obs is not None:
+                self.obs.retry_backoff.observe(backoff)
+                self.obs.emit(now, TraceKind.DISK_RETRY, vpage, npages,
+                              backoff, f"disk{disk.index}:{why}")
+            completion = disk.submit(completion + backoff, block, npages)
+        return completion
+
+    def _reconstruct(self, failed: Disk, block: int, npages: int, now: float,
+                     vpage: int, why: str, is_read: bool) -> float:
+        """Serve a request whose home disk is unavailable.
+
+        Reads are rebuilt from the surviving disks (think RAID parity),
+        writes are redirected to a surviving disk's spare space; both
+        pay ``reconstruction_penalty`` times the normal service.  The
+        model charges the least-busy survivor -- one penalized request
+        rather than a fan-out -- which keeps the path deterministic and
+        cheap while still costing real disk time.
+        """
+        survivors = [
+            d for d in self.disks
+            if d is not failed and not self.faults.dead(d.index, now)
+        ]
+        if not survivors:
+            raise MachineError("every disk in the array has failed")
+        target = min(survivors, key=lambda d: (d.busy_until, d.index))
+        if is_read:
+            self.degraded_reads += 1
+        else:
+            self.degraded_writes += 1
+        if self.obs is not None:
+            self._observe_request(target, now, vpage, npages, why)
+            self.obs.emit(now, TraceKind.DISK_DEGRADED, vpage, npages,
+                          float(failed.index), f"disk{target.index}:{why}")
+        return target.submit(now, block, npages,
+                             scale=self.faults.plan.reconstruction_penalty)
+
     def read_page(self, vpage: int, now: float, kind: IOKind) -> float:
         """Read one page; returns its completion time."""
         disk_idx, block = self.layout.locate(vpage)
-        if self.obs is not None:
-            self._observe_request(self.disks[disk_idx], now, vpage, 1,
-                                  kind.value)
-        completion = self.disks[disk_idx].submit(now, block)
+        completion = self._submit(disk_idx, block, 1, now, vpage,
+                                  kind.value, is_read=True)
         if kind is IOKind.FAULT:
             self.reads_fault += 1
         else:
@@ -85,10 +171,8 @@ class DiskArray:
         """
         completions: list[tuple[int, float]] = []
         for disk_idx, block, count in self.layout.split_run(start_vpage, npages):
-            if self.obs is not None:
-                self._observe_request(self.disks[disk_idx], now, start_vpage,
-                                      count, kind.value)
-            done = self.disks[disk_idx].submit(now, block, count)
+            done = self._submit(disk_idx, block, count, now, start_vpage,
+                                kind.value, is_read=True)
             base = self.layout.extent_of(start_vpage).base_vpage
             ext_block0 = self.layout.extent_of(start_vpage).base_block
             first_offset = (block - ext_block0) * self.config.num_disks + disk_idx
@@ -102,12 +186,14 @@ class DiskArray:
         return completions
 
     def write_page(self, vpage: int, now: float) -> float:
-        """Write one dirty page back; returns its completion time."""
+        """Write one dirty page back; returns its completion time.
+
+        Writes are never dropped: a dead home disk redirects the write
+        through the reconstruction path rather than losing it.
+        """
         disk_idx, block = self.layout.locate(vpage)
-        if self.obs is not None:
-            self._observe_request(self.disks[disk_idx], now, vpage, 1,
-                                  IOKind.WRITE.value)
-        completion = self.disks[disk_idx].submit(now, block)
+        completion = self._submit(disk_idx, block, 1, now, vpage,
+                                  IOKind.WRITE.value, is_read=False)
         self.writes += 1
         return completion
 
@@ -128,4 +214,7 @@ class DiskArray:
             sequential=sum(d.sequential_count for d in self.disks),
             near=sum(d.near_count for d in self.disks),
             random=sum(d.random_count for d in self.disks),
+            retries=self.retries,
+            degraded_reads=self.degraded_reads,
+            degraded_writes=self.degraded_writes,
         )

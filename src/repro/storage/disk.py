@@ -21,7 +21,7 @@ class Disk:
     """One disk: FIFO queue, sequential-access detection, busy accounting."""
 
     __slots__ = ("index", "params", "busy_until", "last_block", "busy_us",
-                 "sequential_count", "near_count", "random_count")
+                 "sequential_count", "near_count", "random_count", "faults")
 
     def __init__(self, index: int, params: DiskParameters) -> None:
         self.index = index
@@ -34,6 +34,9 @@ class Disk:
         self.sequential_count: int = 0
         self.near_count: int = 0
         self.random_count: int = 0
+        #: Attached :class:`repro.faults.inject.DiskFaultState`, or None.
+        #: When set, fail-slow windows stretch this disk's service times.
+        self.faults = None
 
     def queue_delay(self, now: float) -> float:
         """How long a request submitted now would wait before service.
@@ -46,11 +49,15 @@ class Disk:
         delay = self.busy_until - now
         return delay if delay > 0.0 else 0.0
 
-    def submit(self, issue_time: float, block: int, npages: int = 1) -> float:
+    def submit(self, issue_time: float, block: int, npages: int = 1,
+               scale: float = 1.0) -> float:
         """Enqueue a request for ``npages`` contiguous blocks at ``block``.
 
         Returns the completion time.  The caller decides whether to wait for
         it (a demand fault) or not (a prefetch or a write-back).
+        ``scale`` stretches the service time (the disk array's degraded
+        reconstruction path); an attached fault state additionally applies
+        any fail-slow window covering the service start.
         """
         if npages <= 0:
             raise MachineError(f"disk request must cover >= 1 page, got {npages}")
@@ -65,6 +72,10 @@ class Disk:
         else:
             duration = self.params.random_service_us(npages)
             self.random_count += 1
+        if self.faults is not None:
+            scale *= self.faults.service_scale(start)
+        if scale != 1.0:
+            duration *= scale
         completion = start + duration
         self.busy_until = completion
         self.busy_us += duration

@@ -22,6 +22,7 @@ This is the OS half of the paper's interface (Section 2.4):
 from __future__ import annotations
 
 import enum
+import heapq
 
 from repro.config import PlatformConfig
 from repro.errors import MachineError
@@ -91,8 +92,8 @@ class MemoryManager:
         #: Pages currently IN_TRANSIT, for settle-on-pressure handling.
         self._in_transit: dict[int, Page] = {}
         self._free_last_us = 0.0
-        #: Multiprogramming pressure schedule: (time_us, frame_delta),
-        #: sorted by time; positive deltas claim frames for a competitor,
+        #: Multiprogramming pressure schedule: a heap of (time_us,
+        #: frame_delta); positive deltas claim frames for a competitor,
         #: negative deltas give them back.
         self._pressure_events: list[tuple[float, int]] = []
         stats.memory.frames_total = self.frames.total_frames
@@ -125,16 +126,15 @@ class MemoryManager:
         """
         if frames <= 0:
             raise MachineError(f"pressure must claim >= 1 frame, got {frames}")
-        self._pressure_events.append((at_us, frames))
+        heapq.heappush(self._pressure_events, (at_us, frames))
         if duration_us is not None:
-            self._pressure_events.append((at_us + duration_us, -frames))
-        self._pressure_events.sort()
+            heapq.heappush(self._pressure_events, (at_us + duration_us, -frames))
 
     def _apply_due_pressure(self) -> None:
         now = self.clock.now
         due: list[int] = []
         while self._pressure_events and self._pressure_events[0][0] <= now:
-            due.append(self._pressure_events.pop(0)[1])
+            due.append(heapq.heappop(self._pressure_events)[1])
         for delta in due:
             if delta < 0:
                 # A claim may have fallen short (nothing evictable at the

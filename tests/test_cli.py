@@ -162,3 +162,51 @@ class TestCli:
     def test_compare_size_class(self, capsys):
         assert main(["--memory-pages", "96", "compare", "EMBAR",
                      "--size-class", "W"]) == 0
+
+
+class TestFaultCli:
+    def test_run_with_fault_seed(self, capsys):
+        assert main(["--memory-pages", "96", "run", "EMBAR",
+                     "--pages", "120", "--fault-seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert ", faulted" in out
+
+    def test_run_with_plan_file(self, capsys, tmp_path):
+        from repro.faults import FaultPlan, save_plan
+
+        plan_path = tmp_path / "plan.json"
+        save_plan(plan_path, FaultPlan(seed=3, hint_failure_rate=0.05))
+        assert main(["--memory-pages", "96", "run", "EMBAR",
+                     "--pages", "120", "--faults", str(plan_path)]) == 0
+        assert ", faulted" in capsys.readouterr().out
+
+    def test_compare_with_faults(self, capsys, tmp_path):
+        from repro.faults import default_plan, save_plan
+
+        plan_path = tmp_path / "plan.json"
+        save_plan(plan_path, default_plan(num_disks=7))
+        assert main(["--memory-pages", "96", "compare", "EMBAR",
+                     "--pages", "140", "--faults", str(plan_path)]) == 0
+        assert "speedup vs O" in capsys.readouterr().out
+
+    def test_chaos_quick(self, capsys):
+        assert main(["chaos", "EMBAR", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep" in out
+        assert "intensity" in out and "slowdown" in out
+        assert "0 (clean)" in out
+
+    def test_chaos_empty_intensities_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["chaos", "EMBAR", "--quick", "--intensities", ""])
+
+    def test_trace_exits_nonzero_on_invalid_artifact(
+            self, capsys, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "validate_chrome_trace", lambda obj: ["boom"])
+        assert main(["--memory-pages", "96", "trace", "--app", "embar",
+                     "--pages", "120", "--out", str(tmp_path / "t.json")]) == 1
+        assert "boom" in capsys.readouterr().err

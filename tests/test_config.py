@@ -88,6 +88,28 @@ class TestDiskParameters:
             disk.command_overhead_us + disk.transfer_us_per_page
         )
 
+    def test_negative_times_rejected(self):
+        for field in ("avg_seek_us", "short_seek_us", "rotational_us",
+                      "command_overhead_us"):
+            with pytest.raises(ConfigError):
+                DiskParameters(**{field: -1.0})
+
+    def test_zero_seek_and_rotation_allowed(self):
+        # The DSM profile is position independent; zero is legal there.
+        disk = DiskParameters(avg_seek_us=0.0, short_seek_us=0.0,
+                              rotational_us=0.0)
+        assert disk.random_service_us(1) > 0
+
+    def test_transfer_time_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DiskParameters(transfer_us_per_page=0.0)
+        with pytest.raises(ConfigError):
+            DiskParameters(transfer_us_per_page=-5.0)
+
+    def test_negative_near_window_rejected(self):
+        with pytest.raises(ConfigError):
+            DiskParameters(near_window_blocks=-1)
+
 
 class TestDsmPlatform:
     def test_dsm_profile_is_position_independent(self):
