@@ -1,12 +1,16 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Three authoritative reference tables are checked:
+Five authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
 * **Metric reference** (docs/observability.md) -- one row per name in
   ``RUN_METRIC_NAMES`` + ``OBS_METRIC_NAMES``;
+* **Span state reference** (docs/observability.md) -- one row per
+  ``SpanState`` value;
+* **Stall cause reference** (docs/observability.md) -- one row per
+  entry of ``STALL_CAUSES``;
 * **FaultPlan schema reference** (docs/robustness.md) -- one row per
   field of the fault-plan dataclasses (``FaultPlan``, ``DiskFaultSpec``,
   ``SlowWindow``, ``PressureStorm``).
@@ -36,6 +40,8 @@ ROBUSTNESS_DOC_PATH = REPO_ROOT / "docs" / "robustness.md"
 SECTIONS = {
     "## Event schema reference": "kinds",
     "## Metric reference": "metrics",
+    "## Span state reference": "span_states",
+    "## Stall cause reference": "stall_causes",
 }
 
 _ROW_TOKEN = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|")
@@ -52,7 +58,7 @@ def _section_text(doc: str, heading: str) -> str:
 def documented_tokens(doc_path: Path = DOC_PATH) -> dict[str, set[str]]:
     """First-column backticked tokens of each reference table."""
     doc = doc_path.read_text()
-    tokens: dict[str, set[str]] = {"kinds": set(), "metrics": set()}
+    tokens: dict[str, set[str]] = {bucket: set() for bucket in SECTIONS.values()}
     for heading, bucket in SECTIONS.items():
         if heading not in doc:
             raise SystemExit(f"{doc_path}: missing section {heading!r}")
@@ -101,22 +107,26 @@ def check(
 ) -> list[str]:
     """Returns a list of problems; empty means docs and code agree."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.obs.attrib import STALL_CAUSES
     from repro.obs.metrics import OBS_METRIC_NAMES, RUN_METRIC_NAMES
+    from repro.obs.spans import SpanState
     from repro.obs.trace import TraceKind
 
-    code_kinds = {kind.value for kind in TraceKind}
-    code_metrics = set(RUN_METRIC_NAMES) | set(OBS_METRIC_NAMES)
     doc = documented_tokens(doc_path)
+    in_code = {
+        "kinds": ("event kind", {kind.value for kind in TraceKind}),
+        "metrics": ("metric",
+                    set(RUN_METRIC_NAMES) | set(OBS_METRIC_NAMES)),
+        "span_states": ("span state", {state.value for state in SpanState}),
+        "stall_causes": ("stall cause", set(STALL_CAUSES)),
+    }
 
     problems = []
-    for missing in sorted(code_kinds - doc["kinds"]):
-        problems.append(f"event kind {missing!r} is in code but not documented")
-    for stale in sorted(doc["kinds"] - code_kinds):
-        problems.append(f"event kind {stale!r} is documented but not in code")
-    for missing in sorted(code_metrics - doc["metrics"]):
-        problems.append(f"metric {missing!r} is in code but not documented")
-    for stale in sorted(doc["metrics"] - code_metrics):
-        problems.append(f"metric {stale!r} is documented but not in code")
+    for bucket, (label, code_tokens) in in_code.items():
+        for missing in sorted(code_tokens - doc[bucket]):
+            problems.append(f"{label} {missing!r} is in code but not documented")
+        for stale in sorted(doc[bucket] - code_tokens):
+            problems.append(f"{label} {stale!r} is documented but not in code")
 
     code_fields = plan_fields_in_code()
     doc_fields = documented_plan_fields(robustness_doc_path)
@@ -142,6 +152,8 @@ def main() -> int:
     tokens = documented_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
           f"{len(tokens['metrics'])} metrics, "
+          f"{len(tokens['span_states'])} span states, "
+          f"{len(tokens['stall_causes'])} stall causes, "
           f"{len(documented_plan_fields())} fault-plan fields in sync)")
     return 0
 

@@ -10,12 +10,16 @@
     python -m repro sweep BUK --multiples 0.5,1,2,3   # Figure-8 style
     python -m repro multiprog EMBAR,MGRID     # co-schedule two applications
     python -m repro trace --app embar --out trace.json   # record a run
+    python -m repro explain EMBAR             # stall-attribution report
+    python -m repro profile EMBAR             # collapsed stacks + disk timeline
+    python -m repro bench --smoke             # perf-trajectory benchmark
     python -m repro chaos EMBAR --quick       # fault-injection sweep
 
-``run`` and ``compare`` additionally accept ``--trace FILE`` (Chrome
-trace_event JSON, Perfetto-loadable) and ``--metrics-out FILE`` (the
-metrics-registry JSON artifact); ``trace`` is the dedicated front door
-for both.  See docs/observability.md.
+``run``, ``compare``, ``sweep``, ``multiprog``, ``explain``, and
+``profile`` accept ``--trace FILE`` (Chrome trace_event JSON,
+Perfetto-loadable) and ``--metrics-out FILE`` (the metrics-registry
+JSON artifact); ``trace`` is the dedicated front door for both.  See
+docs/observability.md.
 
 ``run``, ``compare``, and ``chaos`` accept ``--faults PLAN.json`` and
 ``--fault-seed N`` to execute under deterministic injected faults; see
@@ -36,7 +40,9 @@ from repro.faults import FaultPlan, default_plan, load_plan
 from repro.harness.experiment import compare_app, default_data_pages, run_variant
 from repro.harness.report import render_table
 from repro.obs import (
+    STALL_CAUSES,
     Observer,
+    StallAttributor,
     chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -294,6 +300,189 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _attributed_run(
+    args: argparse.Namespace, platform: PlatformConfig
+) -> tuple[str, int, RunStats, Observer, StallAttributor]:
+    """Execute one variant with span assembly + stall attribution live."""
+    observer = Observer(capacity=getattr(args, "trace_buffer", 65536))
+    attributor = StallAttributor(observer=observer)
+    fault_plan = _fault_plan_from_args(args, platform)
+    name, pages, stats = _run_one_variant(args, platform, observer, fault_plan)
+    return name, pages, stats, observer, attributor
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Stall-attribution report: every idle microsecond gets one cause.
+
+    Exits non-zero if the conservation invariant fails (attributed
+    cycles must equal the run's stall cycles bitwise) -- it holding is
+    the proof that the report explains *all* of the idle time.
+    """
+    platform = _platform_from_args(args)
+    name, pages, stats, observer, att = _attributed_run(args, platform)
+    report = att.report(stats)
+    idle = report.idle_us or 1.0
+    rows = []
+    for cause in STALL_CAUSES:
+        bucket = report.buckets[cause]
+        if not bucket.count and not bucket.total_us:
+            continue
+        rows.append([
+            cause,
+            bucket.count,
+            f"{bucket.total_us / 1e6:.3f} s",
+            f"{100 * bucket.total_us / idle:.1f} %",
+        ])
+    print(render_table(
+        ["cause", "stalls", "time", "share of idle"],
+        rows,
+        title=(f"{name} [{args.variant.upper()}] at {pages} data pages "
+               f"-- stall attribution"),
+    ))
+    lateness = report.lateness
+    if lateness.count:
+        rows = []
+        for idx, bound in enumerate(lateness.bounds):
+            if lateness.buckets[idx]:
+                rows.append([f"<= {bound / 1000:g} ms", lateness.buckets[idx]])
+        if lateness.buckets[-1]:
+            rows.append([f"> {lateness.bounds[-1] / 1000:g} ms",
+                         lateness.buckets[-1]])
+        rows.append(["mean", f"{lateness.mean / 1000:.1f} ms"])
+        print(render_table(["lateness", "late prefetches"], rows,
+                           title="prefetch_too_late lateness histogram"))
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    verdict = "conserved exactly" if report.conserved else "MISMATCH"
+    print(f"attributed {report.attributed_total_us / 1e6:.6f} s across "
+          f"{report.records} stall records == RunStats idle "
+          f"{report.idle_us / 1e6:.6f} s: {verdict}")
+    _write_observations(args, observer)
+    if not report.conserved:
+        print("conservation invariant violated: attribution does not "
+              "account for all stall cycles", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Collapsed-stack stall profile plus the per-disk utilization timeline."""
+    platform = _platform_from_args(args)
+    name, pages, stats, observer, att = _attributed_run(args, platform)
+    att.report(stats)
+    lines = att.collapsed_stacks(root=name)
+    if args.collapsed:
+        with open(args.collapsed, "w") as fh:
+            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        print(f"collapsed stacks: {args.collapsed} ({len(lines)} frames) "
+              f"-- feed to any flamegraph tool")
+    rows = []
+    for line in lines[:args.top]:
+        stack, _, stalled_us = line.rpartition(" ")
+        rows.append([stack, f"{int(stalled_us) / 1e6:.3f} s"])
+    print(render_table(
+        ["stack (loop nest;array;cause)", "stall"],
+        rows,
+        title=(f"{name} [{args.variant.upper()}] at {pages} data pages "
+               f"-- top {min(args.top, len(lines))} of {len(lines)} stacks"),
+    ))
+    # Per-disk utilization: exact busy fractions from RunStats plus a
+    # request-density timeline rebuilt from the span layer's DISK_REQUEST
+    # feed.  The obs.disk_idle_fraction gauge is set from the same
+    # busy_us numbers in Machine.finish, so the two views agree.
+    elapsed = stats.elapsed_us or 1.0
+    width = 48
+    glyphs = ".:-=+*#@"
+    rows = []
+    for idx, busy in enumerate(stats.disk.busy_us):
+        requests = att.spans.disk_timeline.get(idx, [])
+        counts = [0] * width
+        for ts_us, npages in requests:
+            slot = min(width - 1, int(ts_us / elapsed * width))
+            counts[slot] += npages
+        peak = max(counts) if counts else 0
+        timeline = "".join(
+            " " if c == 0 else glyphs[min(len(glyphs) - 1,
+                                          int(c / peak * (len(glyphs) - 1)))]
+            for c in counts
+        )
+        rows.append([
+            f"disk{idx}",
+            sum(n for _, n in requests),
+            f"{100 * busy / elapsed:.1f} %",
+            f"{100 * max(0.0, 1.0 - busy / elapsed):.1f} %",
+            timeline,
+        ])
+    print(render_table(
+        ["disk", "pages", "busy", "idle", f"requests over time ({width} slots)"],
+        rows,
+        title="disk utilization",
+    ))
+    gauge = observer.disk_idle_fraction
+    print(f"obs.disk_idle_fraction gauge: min {gauge.min:.3f}, "
+          f"max {gauge.max:.3f} (matches the idle column by construction)")
+    _write_observations(args, observer)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned benchmark set and gate against the newest baseline."""
+    from pathlib import Path
+
+    from repro.harness.bench import (
+        compare_reports,
+        find_baseline,
+        load_report,
+        run_bench,
+        smoke_cases,
+        table3_cases,
+        write_report,
+    )
+
+    out = Path(args.out)
+    baseline_path: Path | None = None
+    if args.baseline == "auto":
+        baseline_path = find_baseline(out.resolve().parent, exclude=out)
+    elif args.baseline != "none":
+        baseline_path = Path(args.baseline)
+    # Load before writing: --out may overwrite the committed baseline.
+    baseline = load_report(baseline_path) if baseline_path is not None else None
+    cases = smoke_cases() if args.smoke else table3_cases() + smoke_cases()
+    report = run_bench(
+        cases,
+        progress=lambda case: print(
+            f"running {case.app} ({case.profile}: {case.data_pages} pages, "
+            f"{case.memory_pages} memory pages) ...", flush=True),
+    )
+    write_report(out, report)
+    rows = [[
+        entry["app"], entry["variant"], entry["profile"],
+        f"{entry['sim_elapsed_us'] / 1e6:.3f} s",
+        f"{entry['sim_stall_us'] / 1e6:.3f} s",
+        f"{entry['wall_time_s']:.2f} s",
+    ] for entry in report["entries"]]
+    print(render_table(
+        ["app", "variant", "profile", "sim elapsed", "sim stall", "wall"],
+        rows,
+        title=f"benchmark report -> {out}",
+    ))
+    if baseline is None:
+        print("no baseline report; recorded only (use --baseline PATH to gate)")
+        return 0
+    regressions, notes = compare_reports(report, baseline, args.threshold)
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"simulated-cycle regression vs {baseline_path} "
+              f"(threshold {100 * args.threshold:.0f}%):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression.describe()}", file=sys.stderr)
+        return 1
+    print(f"no simulated-cycle regression vs {baseline_path} "
+          f"(threshold {100 * args.threshold:.0f}%)")
+    return 0
+
+
 def cmd_multiprog(args: argparse.Namespace) -> int:
     from repro.core.prefetch_pass import insert_prefetches
     from repro.multiprog import CoScheduler
@@ -303,9 +492,14 @@ def cmd_multiprog(args: argparse.Namespace) -> int:
     if not names:
         print("no applications given", file=sys.stderr)
         return 2
+    observer = _make_observer(args)
     rows = []
     for prefetching in (False, True):
-        sched = CoScheduler(platform, quantum_us=args.quantum)
+        # Observe the prefetching schedule only: both schedules restart
+        # the clock at zero, so one trace cannot hold both and keep
+        # timestamps monotonic.
+        sched = CoScheduler(platform, quantum_us=args.quantum,
+                            observer=observer if prefetching else None)
         for k, app_name in enumerate(names):
             spec = get_app(app_name)
             pages = args.pages or default_data_pages(platform)
@@ -316,6 +510,10 @@ def cmd_multiprog(args: argparse.Namespace) -> int:
             sched.add_process(program, name=f"{spec.name}#{k}",
                               prefetching=prefetching)
         result = sched.run()
+        if prefetching and observer is not None:
+            # CoScheduler does not publish; surface its stats alongside
+            # the live histograms in the metrics artifact.
+            result.stats.publish(observer.metrics)
         label = "P" if prefetching else "O"
         for proc in result.processes:
             rows.append([
@@ -336,6 +534,9 @@ def cmd_multiprog(args: argparse.Namespace) -> int:
         rows,
         title="Co-scheduled run (O = paged VM, P = prefetching)",
     ))
+    if observer is not None:
+        print("(trace/metrics cover the prefetching schedule only)")
+    _write_observations(args, observer)
     return 0
 
 
@@ -343,10 +544,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     platform = _platform_from_args(args)
     spec = get_app(args.app)
     multiples = [float(m) for m in args.multiples.split(",")]
+    observer = _make_observer(args)
     rows = []
-    for multiple in multiples:
+    for k, multiple in enumerate(multiples):
         pages = max(8, int(platform.available_frames * multiple))
-        result = compare_app(spec, platform, data_pages=pages, seed=args.seed)
+        # Observe the final sweep point only: every run restarts the
+        # simulated clock at zero, so one trace cannot hold several
+        # runs and keep its timestamps monotonic.
+        result = compare_app(
+            spec, platform, data_pages=pages, seed=args.seed,
+            observer=observer if k == len(multiples) - 1 else None,
+        )
         rows.append([
             f"{multiple:g}x",
             pages,
@@ -359,6 +567,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rows,
         title=f"{spec.name} problem-size sweep",
     ))
+    if observer is not None:
+        print(f"(trace/metrics cover the final sweep point only: "
+              f"{multiples[-1]:g}x, prefetching variant)")
+    _write_observations(args, observer)
     return 0
 
 
@@ -495,10 +707,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-buffer", type=int, default=65536,
                    help="trace ring-buffer capacity in events")
 
+    p = sub.add_parser(
+        "explain",
+        help="stall-attribution report (which cause owns each stall)",
+        description="Execute one variant with the causal span layer "
+                    "attached and classify every stalled access into a "
+                    "cause; exits non-zero unless the attributed cycles "
+                    "equal the run's stall cycles exactly "
+                    "(see docs/observability.md).",
+    )
+    add_app_args(p)
+    p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
+                   default="p")
+    p.add_argument("--warm", action="store_true", help="preload the data set")
+    add_obs_args(p)
+    add_fault_args(p)
+
+    p = sub.add_parser(
+        "profile",
+        help="collapsed-stack stall profile + disk utilization timeline",
+        description="Execute one variant and print the hottest "
+                    "loop-nest;array;cause stacks plus a per-disk "
+                    "utilization table (see docs/observability.md).",
+    )
+    add_app_args(p)
+    p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
+                   default="p")
+    p.add_argument("--warm", action="store_true", help="preload the data set")
+    p.add_argument("--collapsed", metavar="FILE",
+                   help="write all collapsed stacks (flamegraph input)")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows to print in the hot-stack table")
+    add_obs_args(p)
+    add_fault_args(p)
+
+    p = sub.add_parser(
+        "bench",
+        help="perf-trajectory benchmark (writes BENCH_PR<N>.json)",
+        description="Run the pinned EMBAR/MGRID/BUK workload set, write "
+                    "a report, and gate simulated cycles against the "
+                    "newest committed BENCH_PR<N>.json baseline; exits "
+                    "non-zero on a regression over the threshold.",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: only the small golden-trace footprint")
+    p.add_argument("--out", default="BENCH_PR4.json", metavar="FILE",
+                   help="report output path (default BENCH_PR4.json)")
+    p.add_argument("--baseline", default="auto", metavar="PATH",
+                   help="baseline report; 'auto' finds the newest "
+                        "BENCH_PR<N>.json next to --out, 'none' disables "
+                        "the gate")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="fractional simulated-cycle regression allowed")
+
     p = sub.add_parser("sweep", help="problem-size sweep (Figure 8 style)")
     add_app_args(p)
     p.add_argument("--multiples", default="0.5,1,1.5,2,3",
                    help="comma-separated sizes as multiples of memory")
+    add_obs_args(p)
 
     p = sub.add_parser("multiprog",
                        help="co-schedule several applications on one machine")
@@ -507,6 +773,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-process data pages (default ~2x memory)")
     p.add_argument("--quantum", type=float, default=20_000.0,
                    help="scheduler quantum in microseconds")
+    add_obs_args(p)
 
     p = sub.add_parser(
         "chaos",
@@ -537,6 +804,9 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "multiprog": cmd_multiprog,
     "trace": cmd_trace,
+    "explain": cmd_explain,
+    "profile": cmd_profile,
+    "bench": cmd_bench,
     "chaos": cmd_chaos,
 }
 

@@ -1,6 +1,16 @@
 """Experiment harness: canonical runs and report rendering for every
 figure and table of the paper's evaluation."""
 
+from repro.harness.bench import (
+    BenchCase,
+    compare_reports,
+    find_baseline,
+    load_report,
+    run_bench,
+    smoke_cases,
+    table3_cases,
+    write_report,
+)
 from repro.harness.experiment import (
     ComparisonResult,
     RunResult,
@@ -18,4 +28,12 @@ __all__ = [
     "default_data_pages",
     "ascii_bars",
     "render_table",
+    "BenchCase",
+    "run_bench",
+    "smoke_cases",
+    "table3_cases",
+    "write_report",
+    "load_report",
+    "find_baseline",
+    "compare_reports",
 ]

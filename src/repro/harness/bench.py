@@ -1,0 +1,209 @@
+"""The perf-trajectory benchmark harness behind ``repro bench``.
+
+Executes a pinned workload set -- EMBAR, MGRID, BUK, each as O and P --
+and records both axes of the repo's performance:
+
+* **simulated cycles** (``sim_elapsed_us`` / ``sim_stall_us``): the
+  reproduction's *result*.  A change here means the simulation itself
+  changed -- which, outside an intentional model fix, is a regression.
+* **wall time** (``wall_time_s``): the simulator's own speed on the
+  host.  Informational only; host-dependent noise makes it a trend
+  indicator, not a gate.
+
+Reports are written as ``BENCH_PR<N>.json`` at the repo root, one per
+PR, so the sequence of committed files *is* the performance trajectory.
+``compare_reports`` gates on simulated cycles against the newest prior
+report with a configurable threshold; ``repro bench`` exits non-zero on
+a regression (CI runs ``repro bench --smoke`` on every push).
+
+Two case profiles:
+
+* ``table3`` -- the default platform at the out-of-core footprint the
+  paper's Table 3 evaluation uses (~2x available memory);
+* ``smoke`` -- the golden-trace footprint (96 memory pages, 120 data
+  pages), small enough for CI to run on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.apps.registry import get_app
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.errors import ConfigError
+from repro.harness.experiment import default_data_pages, run_variant
+
+#: Report schema identifier (bump on incompatible changes).
+BENCH_SCHEMA = "repro-bench/1"
+
+#: The pinned workload set.
+BENCH_APPS: tuple[str, ...] = ("EMBAR", "MGRID", "BUK")
+
+#: Committed report filenames, ordered by their PR number.
+_BENCH_NAME = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One app at one pinned configuration (runs both O and P)."""
+
+    app: str
+    profile: str  # "table3" or "smoke"
+    memory_pages: int
+    data_pages: int
+    seed: int = 1
+
+
+def table3_cases() -> list[BenchCase]:
+    """The paper-scale cases: default platform, ~2x-memory footprint."""
+    platform = PlatformConfig()
+    pages = default_data_pages(platform)
+    return [BenchCase(app, "table3", platform.memory_pages, pages)
+            for app in BENCH_APPS]
+
+
+def smoke_cases() -> list[BenchCase]:
+    """CI-scale cases: the golden-trace footprint."""
+    return [BenchCase(app, "smoke", 96, 120) for app in BENCH_APPS]
+
+
+def run_case(case: BenchCase) -> list[dict]:
+    """Execute one case's O and P variants; returns two report entries."""
+    platform = PlatformConfig(memory_pages=case.memory_pages)
+    spec = get_app(case.app)
+    program = spec.make(case.data_pages, seed=case.seed)
+    compiled = insert_prefetches(
+        program, CompilerOptions.from_platform(platform)
+    ).program
+    entries = []
+    for variant, prog, prefetching in (("O", program, False),
+                                       ("P", compiled, True)):
+        start = time.perf_counter()
+        stats = run_variant(prog, platform, prefetching=prefetching)
+        wall = time.perf_counter() - start
+        entries.append({
+            "app": case.app,
+            "variant": variant,
+            "profile": case.profile,
+            "memory_pages": case.memory_pages,
+            "data_pages": case.data_pages,
+            "seed": case.seed,
+            "sim_elapsed_us": stats.elapsed_us,
+            "sim_stall_us": stats.times.idle,
+            "wall_time_s": round(wall, 4),
+        })
+    return entries
+
+
+def run_bench(cases: Iterable[BenchCase],
+              progress=None) -> dict:
+    """Run every case and assemble a report object."""
+    entries: list[dict] = []
+    for case in cases:
+        if progress is not None:
+            progress(case)
+        entries.extend(run_case(case))
+    return {
+        "schema": BENCH_SCHEMA,
+        "python": sys.version.split()[0],
+        "entries": entries,
+    }
+
+
+def entry_key(entry: dict) -> tuple:
+    """The identity of one measurement (what baselines join on)."""
+    return (entry["app"], entry["variant"], entry["profile"],
+            entry["memory_pages"], entry["data_pages"], entry["seed"])
+
+
+def write_report(path: str | Path, report: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str | Path) -> dict:
+    with open(path) as fh:
+        report = json.load(fh)
+    if report.get("schema") != BENCH_SCHEMA:
+        raise ConfigError(
+            f"{path}: not a {BENCH_SCHEMA} report "
+            f"(schema={report.get('schema')!r})"
+        )
+    return report
+
+
+def find_baseline(root: str | Path,
+                  exclude: str | Path | None = None) -> Path | None:
+    """The newest committed ``BENCH_PR<N>.json`` under ``root``.
+
+    ``exclude`` skips the report being (re)written, so a run whose
+    ``--out`` is the committed name still compares against the previous
+    PR's report rather than against itself.
+    """
+    root = Path(root)
+    exclude = Path(exclude).resolve() if exclude is not None else None
+    best: tuple[int, Path] | None = None
+    for path in root.glob("BENCH_PR*.json"):
+        match = _BENCH_NAME.match(path.name)
+        if match is None:
+            continue
+        if exclude is not None and path.resolve() == exclude:
+            continue
+        number = int(match.group(1))
+        if best is None or number > best[0]:
+            best = (number, path)
+    return best[1] if best else None
+
+
+@dataclass
+class Regression:
+    """One entry whose simulated cycles exceeded the threshold."""
+
+    key: tuple
+    baseline_us: float
+    current_us: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current_us / self.baseline_us if self.baseline_us else float("inf")
+
+    def describe(self) -> str:
+        app, variant, profile, *_ = self.key
+        return (f"{app} [{variant}] ({profile}): "
+                f"{self.baseline_us / 1e6:.3f} s -> {self.current_us / 1e6:.3f} s "
+                f"({self.ratio:.2f}x)")
+
+
+def compare_reports(current: dict, baseline: dict,
+                    threshold: float = 0.10) -> tuple[list[Regression], list[str]]:
+    """Gate ``current`` against ``baseline`` on simulated cycles.
+
+    Returns (regressions, notes): a regression is any joined entry whose
+    ``sim_elapsed_us`` grew by more than ``threshold`` (fractional);
+    notes record entries with no baseline counterpart.  Wall time is
+    never gated -- it is host noise by design.
+    """
+    if threshold < 0:
+        raise ConfigError(f"threshold must be >= 0, got {threshold}")
+    by_key = {entry_key(e): e for e in baseline.get("entries", [])}
+    regressions: list[Regression] = []
+    notes: list[str] = []
+    for entry in current.get("entries", []):
+        key = entry_key(entry)
+        base = by_key.get(key)
+        if base is None:
+            notes.append(f"no baseline entry for {key[0]} [{key[1]}] ({key[2]})")
+            continue
+        base_us = base["sim_elapsed_us"]
+        if base_us > 0 and entry["sim_elapsed_us"] > base_us * (1.0 + threshold):
+            regressions.append(Regression(key, base_us, entry["sim_elapsed_us"]))
+    return regressions, notes

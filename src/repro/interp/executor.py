@@ -66,7 +66,14 @@ class Executor:
         """Execute ``program``; returns its stats when ``finish`` is set."""
         self._bind_arrays(program)
         env = dict(program.params)
-        self._exec_body(program.body, env)
+        obs = self.machine.obs
+        if obs is not None:
+            obs.push_context(program.name)
+        try:
+            self._exec_body(program.body, env)
+        finally:
+            if obs is not None:
+                obs.pop_context()
         if finish:
             return self.machine.finish()
         return None
@@ -91,6 +98,19 @@ class Executor:
                 raise ExecutionError(f"cannot execute statement {stmt!r}")
 
     def _exec_loop(self, loop: Loop, env: dict) -> None:
+        obs = self.machine.obs
+        if obs is None:
+            self._exec_loop_body(loop, env)
+            return
+        # Label by loop variable: stable across runs (loop_id is a
+        # process-global counter) and what the collapsed stacks show.
+        obs.push_context(loop.var)
+        try:
+            self._exec_loop_body(loop, env)
+        finally:
+            obs.pop_context()
+
+    def _exec_loop_body(self, loop: Loop, env: dict) -> None:
         lower = loop.lower.eval(env)
         upper = loop.upper.eval(env)
         if upper <= lower:

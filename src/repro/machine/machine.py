@@ -99,6 +99,8 @@ class Machine:
         seg = self.address_space.map_segment(name, nbytes)
         base_vpage = seg.base // self.config.page_size
         self.disks.register_segment(name, base_vpage, seg.npages)
+        if self.obs is not None:
+            self.obs.register_segment(name, base_vpage, seg.npages)
         return seg
 
     def warm_load_segment(self, seg: Segment) -> None:
@@ -258,4 +260,12 @@ class Machine:
         self.stats.times = TimeBreakdown.from_clock(self.clock)
         self.stats.elapsed_us = self.clock.now
         self.stats.disk = self.disks.snapshot_stats()
+        if self.obs is not None and self.stats.elapsed_us > 0:
+            # One gauge, set per disk in index order: value = the last
+            # disk, min/max = the array's extremes.  Complements the
+            # per-request disk.utilization mean with per-disk bounds.
+            for busy in self.stats.disk.busy_us:
+                self.obs.disk_idle_fraction.set(
+                    max(0.0, 1.0 - busy / self.stats.elapsed_us)
+                )
         return self.stats

@@ -26,6 +26,12 @@ Everything is off by default: a machine without an observer emits
 nothing and pays a single ``is None`` check on its slow paths.
 """
 
+from repro.obs.attrib import (
+    STALL_CAUSES,
+    StallAttributor,
+    StallReport,
+    classify,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_json,
@@ -42,6 +48,7 @@ from repro.obs.metrics import (
     RUN_METRIC_NAMES,
 )
 from repro.obs.observer import Observer
+from repro.obs.spans import Span, SpanBuilder, SpanState, StallRecord
 from repro.obs.trace import TraceBuffer, TraceEvent, TraceKind
 
 __all__ = [
@@ -49,6 +56,14 @@ __all__ = [
     "TraceBuffer",
     "TraceEvent",
     "TraceKind",
+    "Span",
+    "SpanBuilder",
+    "SpanState",
+    "StallRecord",
+    "StallAttributor",
+    "StallReport",
+    "STALL_CAUSES",
+    "classify",
     "MetricsRegistry",
     "Counter",
     "Gauge",

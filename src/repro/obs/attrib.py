@@ -1,0 +1,215 @@
+"""Stall attribution: every idle microsecond gets exactly one cause.
+
+``repro explain`` answers the question the paper's Figures 3-4 answer
+with stacked bars: *where did the stall time go?*  The
+:class:`StallAttributor` subscribes to a :class:`~repro.obs.spans.SpanBuilder`
+and classifies every stall contribution into one of :data:`STALL_CAUSES`
+using the page's lifecycle chain at the moment it stalled.
+
+**Conservation invariant.**  The simulated clock accumulates stall-read
+time by adding each individual wait, in chronological order, with
+``+=``.  Each of those exact floats is also carried by a trace event
+(``fault``'s ``value``, ``stall_frame_wait``'s ``value``), delivered to
+the attributor in the same order.  The attributor replays the identical
+chronological ``+=`` over them, so :attr:`StallReport.attributed_read_us`
+equals ``RunStats.times.stall_read`` **bitwise** -- not within an
+epsilon.  (Per-cause subtotals are display values; the invariant is
+proven on the replayed total, because float addition is
+order-sensitive.)  The final dirty-page flush is a single clock wait
+with no per-page events; it is reported as the ``final_flush`` bucket
+straight from the clock, closing the books on ``times.idle`` exactly.
+
+Scope: single-programmed runs.  The co-scheduler accounts fault waits
+as per-process *blocked* time rather than clock stalls, so attribution
+there would have nothing to conserve against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import Histogram
+from repro.obs.spans import SpanBuilder, SpanState, StallRecord
+
+#: The complete cause taxonomy, classification-precedence first.  The
+#: "Stall cause reference" table in docs/observability.md documents each
+#: cause; ``scripts/check_docs.py`` keeps the two in sync.
+STALL_CAUSES: tuple[str, ...] = (
+    "fault_injected",
+    "dropped_under_pressure",
+    "suppressed",
+    "filter_miss",
+    "prefetch_too_late",
+    "never_prefetched",
+    "frame_wait",
+    "final_flush",
+)
+
+#: Lateness histogram bounds for prefetch_too_late stalls (µs the use
+#: arrived before the I/O completed).
+LATENESS_BOUNDS_US: tuple[float, ...] = (
+    1_000.0, 5_000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0, 250_000.0,
+)
+
+
+def classify(record: StallRecord) -> str:
+    """Map one stall contribution to its cause.
+
+    Precedence: injection taint beats everything (a retried / degraded /
+    hint-failed chain stalled *because of the fault plan*, whatever else
+    is true of it); then the chain's last lifecycle state refines the
+    paper's two stalling fault classes.
+    """
+    if record.tag == "frame_wait":
+        return "frame_wait"
+    if record.injected:
+        return "fault_injected"
+    last = record.last_state
+    if last is SpanState.DROPPED:
+        return "dropped_under_pressure"
+    if record.tag == "prefetched_fault":
+        # The prefetch made it to disk but the use caught up with it.
+        return "prefetch_too_late"
+    # nonprefetched_fault: why did no prefetch cover the page?
+    if last is SpanState.SUPPRESSED:
+        return "suppressed"
+    if last is SpanState.FILTERED:
+        return "filter_miss"
+    if last is SpanState.HINT_FAILED:
+        return "fault_injected"
+    return "never_prefetched"
+
+
+@dataclass
+class CauseBucket:
+    """Aggregate of one cause's stalls."""
+
+    cause: str
+    count: int = 0
+    total_us: float = 0.0
+
+
+@dataclass
+class StallReport:
+    """The finished attribution of one run."""
+
+    buckets: dict[str, CauseBucket]
+    lateness: Histogram
+    #: Chronological replay of every stall-read contribution.
+    attributed_read_us: float
+    #: The clock's own stall totals (from RunStats).
+    stall_read_us: float
+    stall_flush_us: float
+    records: int
+    truncated: bool
+    warnings: list[str] = field(default_factory=list)
+    span_summary: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def attributed_total_us(self) -> float:
+        """Everything attributed, including the flush bucket."""
+        return self.attributed_read_us + self.buckets["final_flush"].total_us
+
+    @property
+    def idle_us(self) -> float:
+        """The run's idle time as the clock reports it."""
+        return self.stall_read_us + self.stall_flush_us
+
+    @property
+    def conserved(self) -> bool:
+        """True when attribution matches the clock *bitwise*."""
+        return (self.attributed_read_us == self.stall_read_us
+                and self.attributed_total_us == self.idle_us)
+
+
+class StallAttributor:
+    """Online stall attribution over a span builder.
+
+    Construct with an observer to self-install (``observer.sink``
+    becomes the span builder, whose ``stall_sink`` is this object), or
+    pass an existing :class:`SpanBuilder`.  For a recorded buffer use
+    :meth:`from_buffer` -- attribution then degrades with the same
+    truncation warning the span builder raises.
+    """
+
+    def __init__(self, observer=None, spans: SpanBuilder | None = None) -> None:
+        self.spans = spans if spans is not None else SpanBuilder(observer=observer)
+        self.spans.stall_sink = self._on_stall
+        if observer is not None:
+            observer.sink = self.spans
+        self.buckets: dict[str, CauseBucket] = {
+            cause: CauseBucket(cause) for cause in STALL_CAUSES
+        }
+        self.lateness = Histogram("attrib.lateness_us", LATENESS_BOUNDS_US)
+        #: Collapsed stacks: (loop path..., segment, cause) -> [count, µs].
+        self.stacks: dict[tuple[str, ...], list[float]] = {}
+        self.records = 0
+        self._replayed_read_us = 0.0
+
+    @classmethod
+    def from_buffer(cls, buffer, observer=None) -> "StallAttributor":
+        attributor = cls.__new__(cls)
+        attributor.buckets = {cause: CauseBucket(cause) for cause in STALL_CAUSES}
+        attributor.lateness = Histogram("attrib.lateness_us", LATENESS_BOUNDS_US)
+        attributor.stacks = {}
+        attributor.records = 0
+        attributor._replayed_read_us = 0.0
+        attributor.spans = SpanBuilder.from_buffer(
+            buffer, observer=observer, stall_sink=attributor._on_stall
+        )
+        return attributor
+
+    # ------------------------------------------------------------------
+
+    def _on_stall(self, record: StallRecord) -> None:
+        cause = classify(record)
+        bucket = self.buckets[cause]
+        bucket.count += 1
+        bucket.total_us += record.stall_us
+        # The conservation replay: same floats, same order, same `+=`
+        # as Clock.wait_until's accumulator.
+        self._replayed_read_us += record.stall_us
+        self.records += 1
+        if cause == "prefetch_too_late":
+            self.lateness.observe(record.stall_us)
+        key = record.context + (record.segment, cause)
+        cell = self.stacks.get(key)
+        if cell is None:
+            self.stacks[key] = [1, record.stall_us]
+        else:
+            cell[0] += 1
+            cell[1] += record.stall_us
+
+    # ------------------------------------------------------------------
+
+    def report(self, stats) -> StallReport:
+        """Close the books against a finished run's :class:`RunStats`."""
+        self.spans.finish()
+        flush = self.buckets["final_flush"]
+        flush.count = 1 if stats.times.stall_flush else 0
+        flush.total_us = stats.times.stall_flush
+        return StallReport(
+            buckets=self.buckets,
+            lateness=self.lateness,
+            attributed_read_us=self._replayed_read_us,
+            stall_read_us=stats.times.stall_read,
+            stall_flush_us=stats.times.stall_flush,
+            records=self.records,
+            truncated=self.spans.truncated,
+            warnings=list(self.spans.warnings),
+            span_summary=self.spans.summary(),
+        )
+
+    def collapsed_stacks(self, root: str = "") -> list[str]:
+        """Flamegraph collapsed-stack lines: ``a;b;seg;cause <µs>``.
+
+        Sorted by descending stall time; load with any collapsed-stack
+        flamegraph tool, or read the top lines directly.
+        """
+        lines = []
+        for key, (count, total_us) in sorted(
+            self.stacks.items(), key=lambda kv: -kv[1][1]
+        ):
+            frames = (root,) + key if root else key
+            lines.append(f"{';'.join(frames)} {int(round(total_us))}")
+        return lines

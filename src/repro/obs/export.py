@@ -35,6 +35,7 @@ KIND_LAYER: dict[TraceKind, str] = {
     TraceKind.PREFETCH_UNNECESSARY: "vm",
     TraceKind.RELEASE: "vm",
     TraceKind.EVICTION: "vm",
+    TraceKind.STALL_FRAME_WAIT: "vm",
     TraceKind.PREFETCH_FILTERED: "runtime",
     TraceKind.PREFETCH_SUPPRESSED: "runtime",
     TraceKind.HINT_FAILED: "runtime",

@@ -275,4 +275,5 @@ OBS_METRIC_NAMES: tuple[str, ...] = (
     "obs.prefetch_to_use_us",
     "obs.disk_queue_delay_us",
     "obs.retry_backoff_us",
+    "obs.disk_idle_fraction",
 )

@@ -5,8 +5,23 @@ an optional :class:`Observer`.  When it is ``None`` -- the default
 everywhere -- they emit nothing and pay a single ``is None`` check on
 their slow paths only, which is what keeps tier-1 timings unchanged.
 When attached, the observer receives typed :class:`TraceKind` events and
-feeds the three live histograms that cannot be recomputed after the run:
-stall latency, prefetch timeliness, and disk queue delay.
+feeds the live histograms that cannot be recomputed after the run:
+stall latency, prefetch timeliness, disk queue delay, retry backoff.
+
+Beyond the flat event stream, the observer carries the *correlation
+context* that the causal span layer (:mod:`repro.obs.spans`) needs to
+label lifecycles without adding a single trace event:
+
+* a **loop-context stack** pushed/popped by the interpreter around each
+  loop, so every event can be tagged with the loop nest it happened in;
+* a **segment map** registered by ``Machine.map_segment`` so a virtual
+  page resolves to the array it belongs to;
+* an optional **sink** -- any object with an ``on_event`` method (a
+  :class:`~repro.obs.spans.SpanBuilder`) that sees every emit as it
+  happens, immune to ring-buffer wraparound.
+
+None of this changes what gets recorded in the ring, so the golden
+trace stays bit-identical whether or not a sink is attached.
 """
 
 from __future__ import annotations
@@ -24,7 +39,8 @@ class Observer:
     """Bundles the trace buffer and the metrics registry of one run."""
 
     __slots__ = ("trace", "metrics", "stall_latency", "prefetch_to_use",
-                 "disk_queue_delay", "retry_backoff")
+                 "disk_queue_delay", "retry_backoff", "disk_idle_fraction",
+                 "sink", "_context", "_segments")
 
     def __init__(
         self,
@@ -47,7 +63,15 @@ class Observer:
         self.retry_backoff = self.metrics.histogram(
             "obs.retry_backoff_us", DEFAULT_BOUNDS_US
         )
+        # Set once per disk (in index order) by Machine.finish: value is
+        # the last disk's idle fraction, min/max the array's extremes.
+        self.disk_idle_fraction = self.metrics.gauge("obs.disk_idle_fraction")
         assert all(name in self.metrics for name in OBS_METRIC_NAMES)
+        #: Optional live consumer of every emitted event (a SpanBuilder).
+        self.sink = None
+        self._context: list[str] = []
+        #: Registered segments as (first_vpage, end_vpage, name) tuples.
+        self._segments: list[tuple[int, int, str]] = []
 
     def emit(
         self,
@@ -60,3 +84,32 @@ class Observer:
     ) -> None:
         """Record one trace event at simulated time ``ts_us``."""
         self.trace.emit(ts_us, kind, vpage, npages, value, tag)
+        if self.sink is not None:
+            self.sink.on_event(ts_us, kind, vpage, npages, value, tag)
+
+    # ------------------------------------------------------------------
+    # Correlation context (no trace events -- golden traces unaffected)
+    # ------------------------------------------------------------------
+
+    def push_context(self, label: str) -> None:
+        """Enter a loop-nest frame (the interpreter calls this)."""
+        self._context.append(label)
+
+    def pop_context(self) -> None:
+        """Leave the innermost loop-nest frame."""
+        self._context.pop()
+
+    def context(self) -> tuple[str, ...]:
+        """The current loop-nest path, outermost first."""
+        return tuple(self._context)
+
+    def register_segment(self, name: str, base_vpage: int, npages: int) -> None:
+        """Record one mapped array so pages resolve to array names."""
+        self._segments.append((base_vpage, base_vpage + npages, name))
+
+    def segment_of(self, vpage: int) -> str:
+        """The array a page belongs to, or ``"?"`` when unmapped."""
+        for first, end, name in self._segments:
+            if first <= vpage < end:
+                return name
+        return "?"

@@ -62,6 +62,10 @@ class TraceKind(str, enum.Enum):
     #: The run-time layer entering or re-probing out of demand-paging
     #: fallback (tag: "enter" or "reprobe"; fault injection only).
     HINT_FALLBACK = "hint_fallback"
+    #: A demand fault stalled waiting for a pinned in-flight prefetch to
+    #: arrive so its frame could be evicted (value = stall microseconds;
+    #: vpage = -1, the wait is not attributable to one page).
+    STALL_FRAME_WAIT = "stall_frame_wait"
 
 
 class TraceEvent(NamedTuple):

@@ -225,7 +225,12 @@ class MemoryManager:
                 if p.arrival_us != float("inf")
             ]
             if issued:
-                self.clock.wait_until(min(issued), TimeCategory.STALL_READ)
+                waited = self.clock.wait_until(min(issued), TimeCategory.STALL_READ)
+                if waited and self.obs is not None:
+                    # Not attributable to one page: the fault is waiting
+                    # for *some* pinned in-flight frame to arrive.
+                    self.obs.emit(self.clock.now, TraceKind.STALL_FRAME_WAIT,
+                                  -1, 1, waited)
                 self._settle_arrived()
                 victim = self.ring.select_victim()
         if victim is None:

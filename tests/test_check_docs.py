@@ -27,12 +27,18 @@ def test_docs_match_code(check_docs):
     assert check_docs.check() == []
 
 
-def test_parser_finds_both_tables(check_docs):
+def test_parser_finds_all_tables(check_docs):
     tokens = check_docs.documented_tokens()
     assert "fault" in tokens["kinds"]
     assert "disk_request" in tokens["kinds"]
+    assert "stall_frame_wait" in tokens["kinds"]
     assert "time.elapsed_us" in tokens["metrics"]
     assert "obs.stall_latency_us" in tokens["metrics"]
+    assert "obs.disk_idle_fraction" in tokens["metrics"]
+    assert "used_stall" in tokens["span_states"]
+    assert "issued" in tokens["span_states"]
+    assert "prefetch_too_late" in tokens["stall_causes"]
+    assert "fault_injected" in tokens["stall_causes"]
 
 
 def test_lint_catches_drift(check_docs, tmp_path):
@@ -50,3 +56,14 @@ def test_lint_catches_drift(check_docs, tmp_path):
     )
     problems = check_docs.check(mutated)
     assert any("time.bogus_us" in p for p in problems)
+
+    mutated.write_text(doc.replace("| `used_stall` |", "| `used_wrong` |"))
+    problems = check_docs.check(mutated)
+    assert any("used_wrong" in p for p in problems)
+    assert any("'used_stall'" in p for p in problems)
+
+    mutated.write_text(
+        doc.replace("| `prefetch_too_late` |", "| `too_late_renamed` |")
+    )
+    problems = check_docs.check(mutated)
+    assert any("too_late_renamed" in p for p in problems)

@@ -164,6 +164,104 @@ class TestCli:
                      "--size-class", "W"]) == 0
 
 
+class TestObsCli:
+    def test_sweep_with_trace_flags(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["--memory-pages", "96", "sweep", "EMBAR",
+                     "--multiples", "0.5,1", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "final sweep point only" in out
+        with open(trace) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+        with open(metrics) as fh:
+            assert "faults.prefetched_hit" in json.load(fh)["metrics"]
+
+    def test_multiprog_with_trace_flags(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.json"
+        assert main(["--memory-pages", "96", "multiprog", "EMBAR,BUK",
+                     "--pages", "60", "--trace", str(trace),
+                     "--metrics-out", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "prefetching schedule only" in out
+        with open(trace) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+        with open(metrics) as fh:
+            assert "time.elapsed_us" in json.load(fh)["metrics"]
+
+    def test_explain(self, capsys):
+        assert main(["--memory-pages", "96", "explain", "EMBAR",
+                     "--pages", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "prefetch_too_late" in out
+        assert "conserved exactly" in out
+
+    def test_explain_original_variant(self, capsys):
+        assert main(["--memory-pages", "96", "explain", "EMBAR",
+                     "--pages", "120", "--variant", "o"]) == 0
+        out = capsys.readouterr().out
+        assert "never_prefetched" in out
+        assert "conserved exactly" in out
+
+    def test_explain_faulted(self, capsys):
+        assert main(["--memory-pages", "96", "explain", "EMBAR",
+                     "--pages", "120", "--fault-seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fault_injected" in out
+        assert "conserved exactly" in out
+
+    def test_explain_exits_nonzero_when_not_conserved(
+            self, capsys, monkeypatch):
+        from repro.obs.attrib import StallAttributor
+
+        real_report = StallAttributor.report
+
+        def broken(self, stats):
+            report = real_report(self, stats)
+            report.attributed_read_us += 1.0
+            return report
+
+        monkeypatch.setattr(StallAttributor, "report", broken)
+        assert main(["--memory-pages", "96", "explain", "EMBAR",
+                     "--pages", "120"]) == 1
+        assert "invariant violated" in capsys.readouterr().err
+
+    def test_profile(self, capsys, tmp_path):
+        collapsed = tmp_path / "stacks.txt"
+        assert main(["--memory-pages", "96", "profile", "EMBAR",
+                     "--pages", "120", "--collapsed", str(collapsed)]) == 0
+        out = capsys.readouterr().out
+        assert "disk utilization" in out
+        assert "obs.disk_idle_fraction" in out
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert ";" in stack and int(weight) >= 0
+
+    def test_profile_with_trace_out(self, tmp_path):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        trace = tmp_path / "t.json"
+        assert main(["--memory-pages", "96", "profile", "EMBAR",
+                     "--pages", "120", "--trace", str(trace)]) == 0
+        with open(trace) as fh:
+            assert validate_chrome_trace(json.load(fh)) == []
+
+
 class TestFaultCli:
     def test_run_with_fault_seed(self, capsys):
         assert main(["--memory-pages", "96", "run", "EMBAR",

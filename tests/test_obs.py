@@ -287,6 +287,76 @@ class TestPublishStandalone:
 
 
 # ----------------------------------------------------------------------
+# Ring wraparound must degrade the exporters, not break them
+# ----------------------------------------------------------------------
+
+
+class TestWrappedRingExports:
+    def setup_method(self):
+        # Tiny ring: the run emits far more events than 64.
+        self.obs = Observer(capacity=64)
+        self.stats = run_variant(
+            _compiled_stream(), CFG, prefetching=True, observer=self.obs
+        )
+
+    def test_run_actually_wrapped(self):
+        assert self.obs.trace.dropped > 0
+        assert len(self.obs.trace) == 64
+
+    def test_chrome_trace_still_valid(self):
+        trace = chrome_trace(self.obs.trace)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["dropped"] == self.obs.trace.dropped
+
+    def test_metrics_export_still_complete(self):
+        # Metrics live outside the ring; wraparound must not touch them.
+        payload = json.loads(json.dumps(metrics_json(self.obs.metrics)))
+        assert set(payload["metrics"]) == set(self.obs.metrics.names())
+        assert payload["metrics"]["time.elapsed_us"]["value"] == (
+            self.stats.elapsed_us
+        )
+
+    def test_spans_assemble_from_truncated_buffer_with_warning(self):
+        from repro.obs import SpanBuilder
+
+        builder = SpanBuilder.from_buffer(self.obs.trace)
+        assert builder.truncated is True
+        assert any("dropped" in w for w in builder.warnings)
+        assert builder.events_seen == 64
+
+    def test_wrap_does_not_perturb_the_simulation(self):
+        bare = run_variant(_compiled_stream(), CFG, prefetching=True)
+        assert bare.elapsed_us == self.stats.elapsed_us
+
+
+# ----------------------------------------------------------------------
+# The disk-idle gauge must agree with the stats it is derived from
+# ----------------------------------------------------------------------
+
+
+class TestDiskIdleGauge:
+    def test_gauge_matches_busy_fractions(self):
+        obs = Observer()
+        stats = run_variant(_compiled_stream(), CFG, prefetching=True,
+                            observer=obs)
+        idle = [max(0.0, 1.0 - busy / stats.elapsed_us)
+                for busy in stats.disk.busy_us]
+        gauge = obs.disk_idle_fraction
+        # One gauge set per disk in index order: value is the last disk,
+        # min/max are the array extremes -- the same numbers `repro
+        # profile` prints in its idle column.
+        assert gauge.value == idle[-1]
+        assert gauge.min == min(idle)
+        assert gauge.max == max(idle)
+
+    def test_gauge_is_exported(self):
+        obs = Observer()
+        run_variant(_compiled_stream(), CFG, prefetching=True, observer=obs)
+        payload = metrics_json(obs.metrics)
+        assert payload["metrics"]["obs.disk_idle_fraction"]["kind"] == "gauge"
+
+
+# ----------------------------------------------------------------------
 # Multiprogrammed interleaving
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,247 @@
+"""Tests for the causal span layer (repro.obs.spans).
+
+Synthetic event sequences pin the correlation rules (issue -> use,
+drops, injection taint, supersession); real runs pin online assembly,
+offline replay equivalence, and the truncated-ring degradation.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.apps import synthetic
+from repro.config import PlatformConfig
+from repro.core.options import CompilerOptions
+from repro.core.prefetch_pass import insert_prefetches
+from repro.harness.experiment import run_variant
+from repro.obs import (
+    Observer,
+    SpanBuilder,
+    SpanState,
+    TraceBuffer,
+    TraceKind,
+    chrome_trace,
+    validate_chrome_trace,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "embar_trace_golden.json"
+
+CFG = PlatformConfig(memory_pages=96)
+OPTS = CompilerOptions.from_platform(CFG)
+
+
+def _compiled_stream(n=60_000, name="s"):
+    prog = synthetic.stream(n, cost_us=10.0, writes=True, name=name)
+    return insert_prefetches(prog, OPTS).program
+
+
+def _load_regen_script():
+    path = REPO_ROOT / "scripts" / "regen_golden_trace.py"
+    spec = importlib.util.spec_from_file_location("regen_golden_trace", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+# ----------------------------------------------------------------------
+# Synthetic correlation rules
+# ----------------------------------------------------------------------
+
+
+class TestSyntheticChains:
+    def test_issue_then_hit_closes_used_hit(self):
+        b = SpanBuilder()
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 10, 4, 0.0, "")
+        b.on_event(5.0, TraceKind.FAULT, 11, 1, 0.0, "prefetched_hit")
+        assert 11 not in b.open
+        assert b.outcome_counts == {"used_hit": 1}
+        assert len(b.open) == 3  # the rest of the run is still open
+        span = b.completed[-1]
+        assert span.run_id == 0
+        assert [s for _, s, _ in span.states] == [
+            SpanState.ISSUED, SpanState.USED_HIT,
+        ]
+
+    def test_issue_then_stall_reports_record(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 10, 2, 0.0, "")
+        b.on_event(3.0, TraceKind.FAULT, 10, 1, 250.0, "prefetched_fault")
+        assert b.outcome_counts == {"used_stall": 1}
+        (rec,) = records
+        assert rec.vpage == 10
+        assert rec.stall_us == 250.0
+        assert rec.last_state is SpanState.ISSUED
+        assert not rec.injected
+
+    def test_dropped_page_keeps_dropped_as_last_state(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 5, 1, 0.0, "")
+        b.on_event(1.0, TraceKind.PREFETCH_DROPPED, 5, 1, 0.0, "")
+        # The page still faults with a prefetched tag (the bit vector was
+        # set before the drop); classification must see DROPPED.
+        b.on_event(9.0, TraceKind.FAULT, 5, 1, 800.0, "prefetched_fault")
+        (rec,) = records
+        assert rec.last_state is SpanState.DROPPED
+
+    def test_demand_fault_without_chain_is_implicit(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(2.0, TraceKind.FAULT, 7, 1, 1000.0, "nonprefetched_fault")
+        assert b.implicit_spans == 1
+        assert records[0].last_state is None
+        assert b.outcome_counts == {"used_stall": 1}
+
+    def test_hits_do_not_reach_the_stall_sink(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(0.0, TraceKind.FAULT, 7, 1, 0.0, "prefetched_hit")
+        b.on_event(1.0, TraceKind.FAULT, 8, 1, 0.0, "reclaim")
+        assert records == []
+
+    def test_retry_taints_the_whole_issue_run(self):
+        b = SpanBuilder()
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 20, 4, 0.0, "")
+        # Striping reports the run-start page for every sub-request.
+        b.on_event(1.0, TraceKind.DISK_RETRY, 20, 2, 500.0, "disk1:read_error")
+        assert all(b.open[p].injected for p in range(20, 24))
+        assert b.open[20].last_state is SpanState.RETRIED
+
+    def test_retry_before_demand_fault_taints_it(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        # A demand-fault read retries before its FAULT event is emitted.
+        b.on_event(1.0, TraceKind.DISK_RETRY, 33, 1, 500.0, "disk0:read_error")
+        b.on_event(2.0, TraceKind.FAULT, 33, 1, 9000.0, "nonprefetched_fault")
+        assert records[0].injected
+
+    def test_hint_failed_marks_injected(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(0.0, TraceKind.HINT_FAILED, 40, 2, 0.0, "")
+        b.on_event(5.0, TraceKind.FAULT, 40, 1, 700.0, "nonprefetched_fault")
+        assert records[0].injected
+        assert records[0].last_state is SpanState.HINT_FAILED
+
+    def test_reissue_supersedes_open_chain(self):
+        b = SpanBuilder()
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 10, 1, 0.0, "")
+        b.on_event(1.0, TraceKind.PREFETCH_DROPPED, 10, 1, 0.0, "")
+        b.on_event(2.0, TraceKind.PREFETCH_ISSUED, 10, 1, 0.0, "")
+        assert b.open[10].run_id == 1
+        assert b.outcome_counts == {"dropped": 1}  # old chain closed as-is
+
+    def test_release_and_eviction_close_spans(self):
+        b = SpanBuilder()
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 10, 2, 0.0, "")
+        b.on_event(1.0, TraceKind.RELEASE, 10, 2, 0.0, "")
+        b.on_event(2.0, TraceKind.EVICTION, 11, 1, 0.0, "pressure")
+        assert b.outcome_counts == {"released": 1, "evicted": 1}
+        assert b.completed[-1].states[-1][2] == "pressure"
+
+    def test_frame_wait_reaches_sink_without_a_span(self):
+        records = []
+        b = SpanBuilder()
+        b.stall_sink = records.append
+        b.on_event(4.0, TraceKind.STALL_FRAME_WAIT, -1, 1, 321.0, "")
+        assert records[0].tag == "frame_wait"
+        assert records[0].stall_us == 321.0
+        assert b.open == {}
+
+    def test_disk_requests_feed_the_timeline(self):
+        b = SpanBuilder()
+        b.on_event(1.0, TraceKind.DISK_REQUEST, 10, 3, 0.0, "disk2:prefetch")
+        b.on_event(2.0, TraceKind.DISK_REQUEST, 50, 1, 0.0, "disk0:write")
+        assert b.disk_timeline[2] == [(1.0, 3)]
+        assert b.disk_timeline[0] == [(2.0, 1)]
+        # Writes never mark page spans (the page is leaving, not arriving).
+        assert 50 not in b.open
+
+    def test_finish_warns_about_open_spans(self):
+        b = SpanBuilder()
+        b.on_event(0.0, TraceKind.PREFETCH_ISSUED, 10, 3, 0.0, "")
+        b.finish()
+        assert any("still open" in w for w in b.warnings)
+        assert b.summary()["open"] == 3
+
+
+# ----------------------------------------------------------------------
+# Real runs: online assembly, offline equivalence, truncation
+# ----------------------------------------------------------------------
+
+
+class TestRealRunAssembly:
+    def setup_method(self):
+        self.obs = Observer()
+        self.builder = SpanBuilder(observer=self.obs)
+        self.obs.sink = self.builder
+        self.stats = run_variant(
+            _compiled_stream(), CFG, prefetching=True, observer=self.obs
+        )
+
+    def test_every_stalling_fault_closed_a_span(self):
+        f = self.stats.faults
+        assert self.builder.outcome_counts.get("used_stall", 0) == (
+            f.prefetched_fault + f.nonprefetched_fault
+        )
+        assert self.builder.outcome_counts.get("used_hit", 0) == (
+            f.prefetched_hit + f.reclaim_fault
+        )
+
+    def test_online_does_not_perturb_the_simulation(self):
+        bare = run_variant(_compiled_stream(), CFG, prefetching=True)
+        assert bare.elapsed_us == self.stats.elapsed_us
+        assert bare.times.idle == self.stats.times.idle
+
+    def test_offline_replay_matches_online(self):
+        offline = SpanBuilder.from_buffer(self.obs.trace)
+        assert offline.truncated is False
+        assert offline.outcome_counts == self.builder.outcome_counts
+        assert offline.implicit_spans == self.builder.implicit_spans
+        assert sorted(offline.open) == sorted(self.builder.open)
+        assert offline.disk_timeline == self.builder.disk_timeline
+
+    def test_golden_trace_unchanged_by_span_assembly(self):
+        """The span layer must not alter the canonical EMBAR trace."""
+        module = _load_regen_script()
+        obs = module.golden_run()
+        with open(GOLDEN_PATH) as fh:
+            golden = json.load(fh)
+        assert chrome_trace(obs.trace) == golden
+
+
+class TestTruncatedBuffer:
+    def test_wrapped_ring_degrades_with_warning(self):
+        obs = Observer(capacity=64)
+        run_variant(_compiled_stream(), CFG, prefetching=True, observer=obs)
+        assert obs.trace.dropped > 0
+        builder = SpanBuilder.from_buffer(obs.trace)
+        assert builder.truncated is True
+        assert any("dropped" in w for w in builder.warnings)
+        # The surviving suffix still assembles *something* coherent.
+        assert builder.events_seen == len(obs.trace)
+        assert builder.outcome_counts or builder.open
+
+    def test_wrapped_ring_still_exports_valid_chrome_trace(self):
+        obs = Observer(capacity=64)
+        run_variant(_compiled_stream(), CFG, prefetching=True, observer=obs)
+        trace = chrome_trace(obs.trace)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["dropped"] == obs.trace.dropped > 0
+
+    def test_unwrapped_buffer_not_marked_truncated(self):
+        buf = TraceBuffer(capacity=16)
+        buf.emit(0.0, TraceKind.FAULT, vpage=1, tag="nonprefetched_fault")
+        builder = SpanBuilder.from_buffer(buf)
+        assert builder.truncated is False
+        assert builder.warnings == []
