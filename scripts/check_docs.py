@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Five authoritative reference tables are checked:
+Six authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -13,7 +13,9 @@ Five authoritative reference tables are checked:
   entry of ``STALL_CAUSES``;
 * **FaultPlan schema reference** (docs/robustness.md) -- one row per
   field of the fault-plan dataclasses (``FaultPlan``, ``DiskFaultSpec``,
-  ``SlowWindow``, ``PressureStorm``).
+  ``SlowWindow``, ``PressureStorm``);
+* **Checkpoint metric reference** (docs/robustness.md) -- one row per
+  name in ``CKPT_METRIC_NAMES``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -87,6 +89,20 @@ def documented_plan_fields(doc_path: Path = ROBUSTNESS_DOC_PATH) -> set[str]:
     return fields
 
 
+def documented_ckpt_metrics(doc_path: Path = ROBUSTNESS_DOC_PATH) -> set[str]:
+    """First-column tokens of the checkpoint metric table."""
+    heading = "## Checkpoint metric reference"
+    doc = doc_path.read_text()
+    if heading not in doc:
+        raise SystemExit(f"{doc_path}: missing section {heading!r}")
+    metrics = set()
+    for line in _section_text(doc, heading).splitlines():
+        match = _ROW_TOKEN.match(line.strip())
+        if match:
+            metrics.add(match.group(1))
+    return metrics
+
+
 def plan_fields_in_code() -> set[str]:
     """Every fault-plan dataclass field, named as the doc table names it."""
     import dataclasses
@@ -108,7 +124,11 @@ def check(
     """Returns a list of problems; empty means docs and code agree."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.obs.attrib import STALL_CAUSES
-    from repro.obs.metrics import OBS_METRIC_NAMES, RUN_METRIC_NAMES
+    from repro.obs.metrics import (
+        CKPT_METRIC_NAMES,
+        OBS_METRIC_NAMES,
+        RUN_METRIC_NAMES,
+    )
     from repro.obs.spans import SpanState
     from repro.obs.trace import TraceKind
 
@@ -135,11 +155,26 @@ def check(
     for stale in sorted(doc_fields - code_fields):
         problems.append(f"fault-plan field {stale!r} is documented but not in code")
 
+    doc_ckpt = documented_ckpt_metrics(robustness_doc_path)
+    for missing in sorted(set(CKPT_METRIC_NAMES) - doc_ckpt):
+        problems.append(
+            f"checkpoint metric {missing!r} is in code but not documented")
+    for stale in sorted(doc_ckpt - set(CKPT_METRIC_NAMES)):
+        problems.append(
+            f"checkpoint metric {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
+    if len(set(CKPT_METRIC_NAMES)) != len(CKPT_METRIC_NAMES):
+        problems.append("CKPT_METRIC_NAMES contains duplicates")
     overlap = set(RUN_METRIC_NAMES) & set(OBS_METRIC_NAMES)
     if overlap:
         problems.append(f"names in both RUN and OBS lists: {sorted(overlap)}")
+    overlap = set(CKPT_METRIC_NAMES) & (set(RUN_METRIC_NAMES)
+                                        | set(OBS_METRIC_NAMES))
+    if overlap:
+        problems.append(
+            f"names in both CKPT and RUN/OBS lists: {sorted(overlap)}")
     return problems
 
 
@@ -154,7 +189,8 @@ def main() -> int:
           f"{len(tokens['metrics'])} metrics, "
           f"{len(tokens['span_states'])} span states, "
           f"{len(tokens['stall_causes'])} stall causes, "
-          f"{len(documented_plan_fields())} fault-plan fields in sync)")
+          f"{len(documented_plan_fields())} fault-plan fields, "
+          f"{len(documented_ckpt_metrics())} checkpoint metrics in sync)")
     return 0
 
 

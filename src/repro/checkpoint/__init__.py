@@ -1,0 +1,45 @@
+"""Crash-consistent checkpoint/restart for in-flight simulations.
+
+The subsystem has three layers:
+
+* :mod:`repro.checkpoint.snapshot` -- capture/restore of the full
+  machine state (clock, VM, run-time layer, disks, fault RNG streams,
+  interpreter cursor, ``RunStats``, and optionally the trace ring);
+* :mod:`repro.checkpoint.store` -- the versioned, checksummed on-disk
+  format, written atomically with a retained ring of the last K
+  checkpoints and corruption fallback;
+* :mod:`repro.checkpoint.runner` -- the policy object
+  (:class:`Checkpointer`) hooked into the interpreter's safe points,
+  plus the in-process kill/resume loop :func:`run_with_recovery`.
+
+See the "Checkpoint & restart" section of docs/robustness.md.
+"""
+
+from repro.checkpoint.runner import (
+    CheckpointConfig,
+    Checkpointer,
+    RecoveryResult,
+    run_with_recovery,
+)
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_VERSION,
+    Snapshot,
+    capture,
+    describe_state,
+    machine_signature,
+)
+from repro.checkpoint.store import CheckpointStore, read_checkpoint_file
+
+__all__ = [
+    "CheckpointConfig",
+    "Checkpointer",
+    "CheckpointStore",
+    "RecoveryResult",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "capture",
+    "describe_state",
+    "machine_signature",
+    "read_checkpoint_file",
+    "run_with_recovery",
+]

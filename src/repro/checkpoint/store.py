@@ -1,0 +1,207 @@
+"""The on-disk checkpoint format and the retained-checkpoint ring.
+
+One checkpoint file is::
+
+    magic (10 bytes, b"REPRO-CKPT")
+    container version  (u32 LE)
+    header length      (u32 LE)
+    payload length     (u64 LE)
+    sha256             (32 bytes, over header JSON + payload)
+    header JSON        (the snapshot's meta dict, UTF-8)
+    payload            (the pickled state)
+
+Everything after the fixed preamble is covered by the checksum, and the
+preamble itself is implicitly covered: a flipped byte in the magic or
+version fails their equality checks, a flipped length byte truncates or
+overruns the read, and a flipped checksum byte fails the digest
+comparison.  Any such damage raises :class:`~repro.errors.CheckpointError`
+from :func:`read_checkpoint_file`, and :meth:`CheckpointStore.load_latest_good`
+falls back to the previous retained checkpoint.
+
+Files are written through :func:`repro.ioutil.atomic_write_bytes` with
+``fsync`` -- a checkpoint must survive the very crash it guards against.
+
+The store also keeps one tiny *crash ledger* JSON per label, recording
+how many planned ``process_crash`` faults have already been delivered,
+so a resumed process does not re-die at the crash it is recovering from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import struct
+from pathlib import Path
+
+from repro.errors import CheckpointError
+from repro.ioutil import atomic_write_bytes, atomic_write_json
+
+#: File magic; changing the container layout bumps CONTAINER_VERSION.
+MAGIC = b"REPRO-CKPT"
+CONTAINER_VERSION = 1
+
+_PREAMBLE = struct.Struct("<II Q 32s")
+
+#: ``<label>.<seq>.ckpt``; seq is zero-padded so lexical order == numeric.
+_FILE_RE = re.compile(r"^(?P<label>.+)\.(?P<seq>\d{8})\.ckpt$")
+
+
+def encode_checkpoint(meta: dict, payload: bytes) -> bytes:
+    """Render one checkpoint file's bytes."""
+    header = json.dumps(meta, sort_keys=True).encode("utf-8")
+    digest = hashlib.sha256(header + payload).digest()
+    return b"".join([
+        MAGIC,
+        _PREAMBLE.pack(CONTAINER_VERSION, len(header), len(payload), digest),
+        header,
+        payload,
+    ])
+
+
+def decode_checkpoint(blob: bytes, where: str = "<bytes>") -> tuple[dict, bytes]:
+    """Parse and verify one checkpoint file's bytes.
+
+    Raises :class:`CheckpointError` on any corruption: bad magic,
+    unknown container version, truncation, or checksum mismatch.
+    """
+    if blob[: len(MAGIC)] != MAGIC:
+        raise CheckpointError(f"{where}: not a checkpoint file (bad magic)")
+    offset = len(MAGIC)
+    if len(blob) < offset + _PREAMBLE.size:
+        raise CheckpointError(f"{where}: truncated checkpoint preamble")
+    version, header_len, payload_len, digest = _PREAMBLE.unpack_from(blob, offset)
+    if version != CONTAINER_VERSION:
+        raise CheckpointError(
+            f"{where}: checkpoint container version {version} is not "
+            f"supported (this build reads version {CONTAINER_VERSION})"
+        )
+    offset += _PREAMBLE.size
+    body = blob[offset:]
+    if len(body) != header_len + payload_len:
+        raise CheckpointError(
+            f"{where}: truncated checkpoint "
+            f"(expected {header_len + payload_len} body bytes, got {len(body)})"
+        )
+    if hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(f"{where}: checkpoint checksum mismatch")
+    try:
+        meta = json.loads(body[:header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{where}: unreadable checkpoint header: {exc}") from None
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"{where}: checkpoint header is not an object")
+    return meta, body[header_len:]
+
+
+def read_checkpoint_file(path: str | Path) -> tuple[dict, bytes]:
+    """Load and verify one checkpoint file -> ``(meta, payload)``."""
+    path = Path(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from None
+    return decode_checkpoint(blob, where=str(path))
+
+
+class CheckpointStore:
+    """A directory of retained checkpoints, ``keep`` newest per label."""
+
+    def __init__(self, root: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise CheckpointError(f"must retain >= 1 checkpoint, got keep={keep}")
+        self.root = Path(root)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    # Checkpoint files
+    # ------------------------------------------------------------------
+
+    def path_for(self, label: str, seq: int) -> Path:
+        return self.root / f"{label}.{seq:08d}.ckpt"
+
+    def sequences(self, label: str) -> list[int]:
+        """Retained sequence numbers for ``label``, ascending."""
+        if not self.root.is_dir():
+            return []
+        seqs = []
+        for path in self.root.iterdir():
+            match = _FILE_RE.match(path.name)
+            if match and match.group("label") == label:
+                seqs.append(int(match.group("seq")))
+        return sorted(seqs)
+
+    def save(self, label: str, meta: dict, payload: bytes) -> tuple[Path, int]:
+        """Write the next checkpoint for ``label`` and prune old ones."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        seqs = self.sequences(label)
+        seq = (seqs[-1] + 1) if seqs else 1
+        meta = dict(meta, seq=seq)
+        path = self.path_for(label, seq)
+        atomic_write_bytes(path, encode_checkpoint(meta, payload), fsync=True)
+        for old in seqs[: max(0, len(seqs) + 1 - self.keep)]:
+            try:
+                self.path_for(label, old).unlink()
+            except OSError:
+                pass
+        return path, seq
+
+    def load_latest_good(self, label: str) -> tuple[dict, bytes, Path, int]:
+        """Newest verifiable checkpoint -> ``(meta, payload, path, skipped)``.
+
+        Corrupt files (flipped bytes, truncation, unknown versions) are
+        skipped, newest first; ``skipped`` counts them.  Raises
+        :class:`CheckpointError` when no retained checkpoint survives.
+        """
+        seqs = self.sequences(label)
+        if not seqs:
+            raise CheckpointError(
+                f"no checkpoints for label {label!r} under {self.root}"
+            )
+        skipped = 0
+        last_error: CheckpointError | None = None
+        for seq in reversed(seqs):
+            path = self.path_for(label, seq)
+            try:
+                meta, payload = read_checkpoint_file(path)
+            except CheckpointError as exc:
+                skipped += 1
+                last_error = exc
+                continue
+            return meta, payload, path, skipped
+        raise CheckpointError(
+            f"every retained checkpoint for {label!r} is corrupt "
+            f"(last error: {last_error})"
+        )
+
+    # ------------------------------------------------------------------
+    # Crash ledger
+    # ------------------------------------------------------------------
+
+    def _ledger_path(self, label: str) -> Path:
+        return self.root / f"{label}.crashes.json"
+
+    def crashes_delivered(self, label: str) -> int:
+        """Planned crashes already delivered to this label's run."""
+        path = self._ledger_path(label)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return 0
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable crash ledger {path}: {exc}") from None
+        delivered = payload.get("delivered") if isinstance(payload, dict) else None
+        if not isinstance(delivered, int) or delivered < 0:
+            raise CheckpointError(f"malformed crash ledger {path}")
+        return delivered
+
+    def record_crash(self, label: str) -> int:
+        """Bump the ledger; returns the new delivered count."""
+        delivered = self.crashes_delivered(label) + 1
+        self.root.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            self._ledger_path(label),
+            {"version": 1, "delivered": delivered},
+            fsync=True,
+        )
+        return delivered

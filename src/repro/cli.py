@@ -24,6 +24,12 @@ docs/observability.md.
 ``run``, ``compare``, and ``chaos`` accept ``--faults PLAN.json`` and
 ``--fault-seed N`` to execute under deterministic injected faults; see
 docs/robustness.md.
+
+``run``, ``compare``, and ``bench`` accept ``--checkpoint-every US``,
+``--checkpoint-dir DIR``, ``--checkpoint-keep K``, ``--resume-from
+PATH``, and ``--ignore-crash-faults``.  A planned ``process_crash``
+fault (or a pending one from a resumed plan) terminates the process
+with exit code 3 and a resume hint; see docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -33,9 +39,11 @@ import sys
 from typing import Sequence
 
 from repro.apps.registry import ALL_APPS, get_app, table2_rows
+from repro.checkpoint import CheckpointConfig
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
+from repro.errors import ProcessCrash
 from repro.faults import FaultPlan, default_plan, load_plan
 from repro.harness.experiment import compare_app, default_data_pages, run_variant
 from repro.harness.report import render_table
@@ -124,6 +132,27 @@ def _fault_plan_from_args(
     return plan
 
 
+def _checkpoint_from_args(
+    args: argparse.Namespace, label: str
+) -> CheckpointConfig | None:
+    """The config behind ``--checkpoint-* / --resume-from`` (see
+    docs/robustness.md).  Commands without those flags get None; with
+    them, an (often inactive) config is always built so the checkpoint
+    directory and crash ledger stay wired for plan ``process_crash``
+    faults even when no cadence was requested.
+    """
+    if not hasattr(args, "checkpoint_every"):
+        return None
+    return CheckpointConfig(
+        every_us=args.checkpoint_every,
+        directory=args.checkpoint_dir,
+        label=label,
+        keep=args.checkpoint_keep,
+        resume_from=args.resume_from,
+        suppress_plan_crashes=args.ignore_crash_faults,
+    )
+
+
 def _make_observer(args: argparse.Namespace) -> Observer | None:
     """An observer when any observability output was requested."""
     if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
@@ -204,10 +233,13 @@ def _run_one_variant(
     pages = _data_pages(args, platform)
     program = spec.make(pages, seed=args.seed)
     variant = args.variant.lower()
+    checkpoint = _checkpoint_from_args(
+        args, f"{spec.name}-{variant.upper()}"
+    )
     if variant == "o":
         stats = run_variant(program, platform, prefetching=False,
                             warm=args.warm, observer=observer,
-                            fault_plan=fault_plan)
+                            fault_plan=fault_plan, checkpoint=checkpoint)
     else:
         options = CompilerOptions.from_platform(platform)
         compiled = insert_prefetches(program, options)
@@ -220,6 +252,7 @@ def _run_one_variant(
             adaptive=variant == "adaptive",
             observer=observer,
             fault_plan=fault_plan,
+            checkpoint=checkpoint,
         )
     return spec.name, pages, stats
 
@@ -229,9 +262,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     observer = _make_observer(args)
     fault_plan = _fault_plan_from_args(args, platform)
     name, pages, stats = _run_one_variant(args, platform, observer, fault_plan)
+    resumed = getattr(args, "resume_from", None)
     print(f"{name} [{args.variant.upper()}] at {pages} data pages "
           f"({'warm' if args.warm else 'cold'} start"
-          + (", faulted" if fault_plan is not None else "") + ")")
+          + (", faulted" if fault_plan is not None else "")
+          + (f", resumed from {resumed}" if resumed else "") + ")")
     _print_stats(stats, observer.metrics if observer else None)
     _write_observations(args, observer)
     return 0
@@ -279,6 +314,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         include_adaptive=args.adaptive,
         observer=observer,
         fault_plan=_fault_plan_from_args(args, platform),
+        # compare_app re-labels per variant (<app>-O, <app>-P, ...).
+        checkpoint=_checkpoint_from_args(args, spec.name),
     )
     rows = []
     variants = [result.original, result.prefetch] + list(result.extras.values())
@@ -453,6 +490,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         progress=lambda case: print(
             f"running {case.app} ({case.profile}: {case.data_pages} pages, "
             f"{case.memory_pages} memory pages) ...", flush=True),
+        # run_case re-labels per entry (<app>-<variant>-<profile>).
+        checkpoint=_checkpoint_from_args(args, "bench"),
     )
     write_report(out, report)
     rows = [[
@@ -600,7 +639,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     )
     rows = [[
         "0 (clean)", f"{report.clean.elapsed_us / 1e6:.3f} s",
-        "1.00x", "-", "-", "-", "-",
+        "1.00x", "-", "-", "-", "-", "-",
     ]]
     for row in report.rows:
         rows.append([
@@ -611,10 +650,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             row.retries,
             row.degraded_requests,
             row.fallback_episodes,
+            f"{row.crashes}/{row.resumes}" if row.crashes else "-",
         ])
     print(render_table(
         ["intensity", "elapsed", "slowdown", "hints dropped",
-         "retries", "degraded I/O", "fallbacks"],
+         "retries", "degraded I/O", "fallbacks", "crashes/resumes"],
         rows,
         title=(f"{spec.name} [{args.variant.upper()}] chaos sweep "
                f"at {report.data_pages} data pages"),
@@ -665,6 +705,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--fault-seed", type=int, default=None,
                        help="reseed the plan (alone: use the default plan)")
 
+    def add_ckpt_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--checkpoint-every", type=float, default=None,
+                       metavar="US",
+                       help="write a checkpoint every N simulated "
+                            "microseconds (docs/robustness.md)")
+        p.add_argument("--checkpoint-dir", default="checkpoints",
+                       metavar="DIR",
+                       help="checkpoint directory (default: checkpoints)")
+        p.add_argument("--checkpoint-keep", type=int, default=3, metavar="K",
+                       help="retained checkpoints per label (default 3)")
+        p.add_argument("--resume-from", default=None, metavar="PATH",
+                       help="resume from a checkpoint file, or the newest "
+                            "good checkpoint in a directory")
+        p.add_argument("--ignore-crash-faults", action="store_true",
+                       help="treat the plan's process_crash faults as "
+                            "already delivered (uninterrupted control run)")
+
     p = sub.add_parser("run", help="execute one variant")
     add_app_args(p)
     p.add_argument("--variant", choices=["o", "p", "nofilter", "adaptive"],
@@ -672,6 +729,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm", action="store_true", help="preload the data set")
     add_obs_args(p)
     add_fault_args(p)
+    add_ckpt_args(p)
 
     p = sub.add_parser("compare", help="run original vs prefetching")
     add_app_args(p)
@@ -682,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run with adaptive suppression")
     add_obs_args(p)
     add_fault_args(p)
+    add_ckpt_args(p)
 
     p = sub.add_parser(
         "trace",
@@ -759,6 +818,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the gate")
     p.add_argument("--threshold", type=float, default=0.10,
                    help="fractional simulated-cycle regression allowed")
+    add_ckpt_args(p)
 
     p = sub.add_parser("sweep", help="problem-size sweep (Figure 8 style)")
     add_app_args(p)
@@ -813,7 +873,21 @@ COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    try:
+        return COMMANDS[args.command](args)
+    except ProcessCrash as crash:
+        # A planned process_crash fault killed the simulated process.
+        # Exit code 3 so harnesses can tell "crashed as planned" from
+        # real failures; the newest checkpoint is the resume source.
+        print(f"error: {crash}", file=sys.stderr)
+        if crash.checkpoint_path:
+            print(f"resume with: --resume-from {crash.checkpoint_path} "
+                  f"(or the checkpoint directory)", file=sys.stderr)
+        else:
+            print("no checkpoint was written before the crash; "
+                  "rerun with --checkpoint-every to bound lost work",
+                  file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -35,3 +35,32 @@ class AddressError(ExecutionError):
 
 class MachineError(ReproError):
     """Inconsistent machine/VM state detected at run time."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file or snapshot could not be written, read, or applied."""
+
+
+class ProcessCrash(Exception):
+    """An injected process death (the ``crashes`` fault kind).
+
+    Deliberately *not* a :class:`ReproError`: a crash is simulated control
+    flow, not a library failure, and must not be swallowed by blanket
+    ``except ReproError`` handlers.  Raised at an interpreter safe point,
+    so the machine state it abandons is always snapshot-consistent.
+    """
+
+    def __init__(self, scheduled_us: float, at_us: float, cursor: int,
+                 checkpoint_path: str | None = None) -> None:
+        super().__init__(
+            f"process crashed at simulated cycle {at_us:.0f} us "
+            f"(scheduled at {scheduled_us:.0f} us, interpreter unit {cursor})"
+        )
+        #: The cycle the plan asked the crash to happen at.
+        self.scheduled_us = scheduled_us
+        #: The safe-point cycle the crash was actually delivered at.
+        self.at_us = at_us
+        #: Interpreter unit cursor at the moment of death.
+        self.cursor = cursor
+        #: Newest checkpoint written before the crash, when one exists.
+        self.checkpoint_path = checkpoint_path

@@ -5,6 +5,12 @@ it again under ``base_plan.scaled(i)`` for each requested intensity.
 Every run uses the same program, platform, and workload seed, so the
 whole table isolates the cost of the injected faults.  The CLI front
 door is ``python -m repro chaos`` (see docs/robustness.md).
+
+Plans that schedule ``process_crash`` faults run through the in-process
+kill/resume loop (:func:`repro.checkpoint.run_with_recovery`): each
+crash kills the incarnation and the next one resumes from the newest
+in-memory checkpoint, so the row's stats are those of the *completed*
+run and the row also reports how many crashes/resumes it survived.
 """
 
 from __future__ import annotations
@@ -13,13 +19,22 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.apps.base import AppSpec
+from repro.checkpoint.runner import CheckpointConfig, run_with_recovery
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan, default_plan
 from repro.harness.experiment import default_data_pages, run_variant
+from repro.interp.executor import Executor
+from repro.machine.machine import Machine
 from repro.sim.stats import RunStats
+
+#: Checkpoint cadence for crash-bearing chaos rows (simulated us).  A
+#: fixed deterministic cadence keeps the sweep reproducible; it only
+#: bounds how much work a resume replays, never the row's statistics
+#: (checkpointing is pure observation).
+CHAOS_CHECKPOINT_EVERY_US = 50_000.0
 
 
 def dropped_hint_pages(stats: RunStats) -> int:
@@ -40,6 +55,9 @@ class ChaosRow:
     intensity: float
     plan: FaultPlan
     stats: RunStats
+    #: Process crashes delivered (and resumes survived) to finish the row.
+    crashes: int = 0
+    resumes: int = 0
 
     @property
     def elapsed_us(self) -> float:
@@ -108,8 +126,26 @@ def chaos_sweep(
         options = CompilerOptions.from_platform(platform)
         program = insert_prefetches(program, options).program
 
-    def execute(plan: FaultPlan | None) -> RunStats:
-        return run_variant(
+    def execute(plan: FaultPlan | None) -> tuple[RunStats, int, int]:
+        if plan is not None and plan.crashes:
+            # Crash-bearing plans go through the kill/resume loop: a
+            # fresh machine per incarnation, in-memory checkpoints.
+            def factory():
+                machine = Machine(
+                    platform,
+                    prefetching=prefetching,
+                    runtime_filter=variant != "nofilter",
+                    adaptive_prefetch=variant == "adaptive",
+                    fault_plan=plan,
+                )
+                return machine, Executor(machine)
+
+            rec = run_with_recovery(
+                factory, program,
+                CheckpointConfig(every_us=CHAOS_CHECKPOINT_EVERY_US),
+            )
+            return rec.stats, rec.crashes, rec.resumes
+        stats = run_variant(
             program,
             platform,
             prefetching=prefetching,
@@ -117,13 +153,15 @@ def chaos_sweep(
             adaptive=variant == "adaptive",
             fault_plan=plan,
         )
+        return stats, 0, 0
 
-    clean = execute(None)
+    clean, _, _ = execute(None)
     rows = []
     for intensity in intensities:
         plan = base_plan.scaled(intensity)
-        stats = execute(None if plan.is_noop() else plan)
-        rows.append(ChaosRow(intensity=intensity, plan=plan, stats=stats))
+        stats, crashes, resumes = execute(None if plan.is_noop() else plan)
+        rows.append(ChaosRow(intensity=intensity, plan=plan, stats=stats,
+                             crashes=crashes, resumes=resumes))
     return ChaosReport(
         app=spec.name,
         variant=variant,

@@ -199,12 +199,28 @@ class LaggedBitVector:
 class FaultInjector:
     """Per-machine bundle of the plan's layer states."""
 
-    __slots__ = ("plan", "storage", "hints")
+    __slots__ = ("plan", "storage", "hints", "crash_cursor")
 
     def __init__(self, plan: FaultPlan, num_disks: int) -> None:
         self.plan = plan
         self.storage = StorageFaults(plan, num_disks) if plan.disks else None
         self.hints = HintFaultState(plan) if plan.hint_failure_rate > 0 else None
+        #: Index of the next undelivered ``plan.crashes`` entry.  This is
+        #: per-process-incarnation state and deliberately *excluded* from
+        #: snapshots: a resumed run must not re-die at the crash it is
+        #: recovering from.  Across processes the checkpoint store's crash
+        #: ledger carries the delivered count instead.
+        self.crash_cursor = 0
+
+    def next_crash_us(self) -> float | None:
+        """The next undelivered crash cycle, or None when exhausted."""
+        if self.crash_cursor < len(self.plan.crashes):
+            return self.plan.crashes[self.crash_cursor]
+        return None
+
+    def suppress_crashes(self) -> None:
+        """Mark every planned crash delivered (``--ignore-crash-faults``)."""
+        self.crash_cursor = len(self.plan.crashes)
 
     def storm_bursts(self) -> list[tuple[float, int, float | None]]:
         """Every storm burst of the plan as ``(at_us, frames, hold_us)``."""

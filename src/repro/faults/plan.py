@@ -28,6 +28,10 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.errors import ConfigError
+from repro.ioutil import atomic_write_json
+
+#: The fault-plan JSON schema version this build reads and writes.
+PLAN_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -161,10 +165,27 @@ class FaultPlan:
     fallback_after: int = 4
     #: Prefetch requests skipped per fallback episode before re-probing.
     fallback_cooldown: int = 256
+    #: Simulated cycles (us) at which the whole process is killed -- the
+    #: ``process_crash`` fault kind.  Delivered at interpreter safe
+    #: points; a checkpointed run resumes past them, an unchckpointed
+    #: run dies and must restart from scratch.
+    crashes: tuple[float, ...] = ()
+    #: Schema version of the plan (see :data:`PLAN_VERSION`).
+    version: int = PLAN_VERSION
 
     def __post_init__(self) -> None:
+        if self.version != PLAN_VERSION:
+            raise ConfigError(
+                f"fault plan version {self.version!r} is not supported "
+                f"(this build reads version {PLAN_VERSION})"
+            )
         object.__setattr__(self, "disks", tuple(self.disks))
         object.__setattr__(self, "storms", tuple(self.storms))
+        crashes = tuple(sorted(float(c) for c in self.crashes))
+        for cycle in crashes:
+            if cycle < 0:
+                raise ConfigError(f"crash cycle must be >= 0, got {cycle}")
+        object.__setattr__(self, "crashes", crashes)
         seen = set()
         for spec in self.disks:
             if spec.disk in seen:
@@ -202,6 +223,7 @@ class FaultPlan:
             and not self.storms
             and self.bitvector_lag_us == 0.0
             and self.hint_failure_rate == 0.0
+            and not self.crashes
         )
 
     def with_seed(self, seed: int) -> "FaultPlan":
@@ -242,6 +264,8 @@ class FaultPlan:
             storms=tuple(storms),
             bitvector_lag_us=self.bitvector_lag_us * intensity,
             hint_failure_rate=min(1.0, self.hint_failure_rate * intensity),
+            # Like whole-disk death, process death is all-or-nothing.
+            crashes=self.crashes if intensity >= 1.0 else (),
         )
 
     # ------------------------------------------------------------------
@@ -256,6 +280,14 @@ class FaultPlan:
         if not isinstance(payload, dict):
             raise ConfigError("fault plan must be a JSON object")
         data = dict(payload)
+        # Reject unknown versions before field-level parsing: a future
+        # schema may rename fields, and "malformed plan" would mislead.
+        version = data.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise ConfigError(
+                f"fault plan version {version!r} is not supported "
+                f"(this build reads version {PLAN_VERSION})"
+            )
         try:
             disks = tuple(
                 DiskFaultSpec(**{
@@ -282,10 +314,8 @@ def load_plan(path: str) -> FaultPlan:
 
 
 def save_plan(path: str, plan: FaultPlan) -> None:
-    """Write a plan as JSON (for committing chaos experiments)."""
-    with open(path, "w") as fh:
-        json.dump(plan.to_dict(), fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    """Write a plan as JSON, atomically (for committing chaos experiments)."""
+    atomic_write_json(path, plan.to_dict(), indent=1, sort_keys=True)
 
 
 def default_plan(num_disks: int, seed: int = 1) -> FaultPlan:

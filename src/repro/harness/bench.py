@@ -26,6 +26,7 @@ Two case profiles:
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import re
 import sys
@@ -35,11 +36,13 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.apps.registry import get_app
+from repro.checkpoint.runner import CheckpointConfig
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
 from repro.errors import ConfigError
 from repro.harness.experiment import default_data_pages, run_variant
+from repro.ioutil import atomic_write_json
 
 #: Report schema identifier (bump on incompatible changes).
 BENCH_SCHEMA = "repro-bench/1"
@@ -75,7 +78,8 @@ def smoke_cases() -> list[BenchCase]:
     return [BenchCase(app, "smoke", 96, 120) for app in BENCH_APPS]
 
 
-def run_case(case: BenchCase) -> list[dict]:
+def run_case(case: BenchCase,
+             checkpoint: CheckpointConfig | None = None) -> list[dict]:
     """Execute one case's O and P variants; returns two report entries."""
     platform = PlatformConfig(memory_pages=case.memory_pages)
     spec = get_app(case.app)
@@ -86,8 +90,14 @@ def run_case(case: BenchCase) -> list[dict]:
     entries = []
     for variant, prog, prefetching in (("O", program, False),
                                        ("P", compiled, True)):
+        ckpt = None
+        if checkpoint is not None:
+            ckpt = dataclasses.replace(
+                checkpoint, label=f"{case.app}-{variant}-{case.profile}"
+            )
         start = time.perf_counter()
-        stats = run_variant(prog, platform, prefetching=prefetching)
+        stats = run_variant(prog, platform, prefetching=prefetching,
+                            checkpoint=ckpt)
         wall = time.perf_counter() - start
         entries.append({
             "app": case.app,
@@ -104,13 +114,14 @@ def run_case(case: BenchCase) -> list[dict]:
 
 
 def run_bench(cases: Iterable[BenchCase],
-              progress=None) -> dict:
+              progress=None,
+              checkpoint: CheckpointConfig | None = None) -> dict:
     """Run every case and assemble a report object."""
     entries: list[dict] = []
     for case in cases:
         if progress is not None:
             progress(case)
-        entries.extend(run_case(case))
+        entries.extend(run_case(case, checkpoint=checkpoint))
     return {
         "schema": BENCH_SCHEMA,
         "python": sys.version.split()[0],
@@ -125,9 +136,7 @@ def entry_key(entry: dict) -> tuple:
 
 
 def write_report(path: str | Path, report: dict) -> None:
-    with open(path, "w") as fh:
-        json.dump(report, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(path, report, indent=1, sort_keys=True)
 
 
 def load_report(path: str | Path) -> dict:

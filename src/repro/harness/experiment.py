@@ -15,9 +15,11 @@ workloads (including identical index-array data).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.apps.base import AppSpec
+from repro.checkpoint.runner import CheckpointConfig, setup_checkpointing
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import PassResult, insert_prefetches
@@ -80,6 +82,7 @@ def run_variant(
     os_readahead: bool = False,
     observer=None,
     fault_plan=None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> RunStats:
     """Execute one program variant on a fresh machine.
 
@@ -88,7 +91,11 @@ def run_variant(
     ``observer.metrics`` (so ``--trace`` / ``--metrics-out`` artifacts
     come straight off the observer).  Passing a
     :class:`repro.faults.FaultPlan` runs the variant under injected
-    faults (seeded, deterministic; see docs/robustness.md).
+    faults (seeded, deterministic; see docs/robustness.md).  Passing a
+    :class:`repro.checkpoint.CheckpointConfig` enables periodic
+    snapshots and/or resume; a checkpointer is also attached (even with
+    no config) whenever the fault plan schedules ``process_crash``
+    faults, since crash delivery rides the interpreter's safe points.
     """
     machine = Machine(
         platform,
@@ -100,6 +107,9 @@ def run_variant(
         fault_plan=fault_plan,
     )
     executor = Executor(machine, warm_start=warm)
+    plan_crashes = fault_plan is not None and bool(fault_plan.crashes)
+    if (checkpoint is not None and checkpoint.active()) or plan_crashes:
+        setup_checkpointing(machine, executor, checkpoint or CheckpointConfig())
     stats = executor.run(program)
     assert stats is not None
     if observer is not None:
@@ -119,6 +129,7 @@ def compare_app(
     include_readahead: bool = False,
     observer=None,
     fault_plan=None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> ComparisonResult:
     """Run O and P (optionally P-nofilter, P-adaptive, O-readahead).
 
@@ -128,6 +139,10 @@ def compare_app(
     A ``fault_plan`` applies to *every* variant so the comparison is a
     faulted-vs-faulted one (each variant gets its own injector, so the
     seeded fault streams are identical across variants).
+    A ``checkpoint`` config applies to every variant too, re-labelled
+    ``<app>-<variant>`` so one checkpoint directory serves the whole
+    comparison; variants a crashed invocation never reached have no
+    checkpoints under their label and resume as fresh runs.
     """
     if data_pages is None:
         data_pages = default_data_pages(platform, spec.default_memory_multiple)
@@ -135,10 +150,16 @@ def compare_app(
     options = options or CompilerOptions.from_platform(platform)
     compiled = insert_prefetches(program, options)
 
+    def ckpt_for(variant: str) -> CheckpointConfig | None:
+        if checkpoint is None:
+            return None
+        return dataclasses.replace(checkpoint, label=f"{spec.name}-{variant}")
+
     o_stats = run_variant(program, platform, prefetching=False, warm=warm,
-                          fault_plan=fault_plan)
+                          fault_plan=fault_plan, checkpoint=ckpt_for("O"))
     p_stats = run_variant(compiled.program, platform, prefetching=True, warm=warm,
-                          observer=observer, fault_plan=fault_plan)
+                          observer=observer, fault_plan=fault_plan,
+                          checkpoint=ckpt_for("P"))
     result = ComparisonResult(
         app=spec.name,
         data_pages=data_pages,
@@ -150,6 +171,7 @@ def compare_app(
         nf_stats = run_variant(
             compiled.program, platform, prefetching=True,
             runtime_filter=False, warm=warm, fault_plan=fault_plan,
+            checkpoint=ckpt_for("P-nofilter"),
         )
         result.extras["P-nofilter"] = RunResult(
             spec.name, "P-nofilter", nf_stats, warm, data_pages
@@ -158,6 +180,7 @@ def compare_app(
         ad_stats = run_variant(
             compiled.program, platform, prefetching=True,
             warm=warm, adaptive=True, fault_plan=fault_plan,
+            checkpoint=ckpt_for("P-adaptive"),
         )
         result.extras["P-adaptive"] = RunResult(
             spec.name, "P-adaptive", ad_stats, warm, data_pages
@@ -166,6 +189,7 @@ def compare_app(
         ra_stats = run_variant(
             program, platform, prefetching=False, warm=warm,
             os_readahead=True, fault_plan=fault_plan,
+            checkpoint=ckpt_for("O-readahead"),
         )
         result.extras["O-readahead"] = RunResult(
             spec.name, "O-readahead", ra_stats, warm, data_pages

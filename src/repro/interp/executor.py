@@ -11,6 +11,20 @@ Walks a program's statement tree against a :class:`Machine`:
 
 The same interpreter runs both the original and the transformed program:
 the original simply contains no hints.
+
+**Safe points and the unit cursor.**  Execution is counted in *units*:
+one work statement, one hint, one vectorized leaf chunk, or one
+pure-compute leaf loop.  After each live unit the executor calls the
+attached checkpointer's ``at_safe_point`` hook (crash delivery and
+checkpoint cadence live there, see :mod:`repro.checkpoint.runner`) --
+between units no chunk is half-replayed, which is what makes a snapshot
+crash-consistent.  Resume is *skip-replay*: the control flow (loop
+bounds, ``If`` conditions, environment bindings) is re-walked without
+touching the machine until the unit cursor passes the snapshot's
+cursor, then execution goes live.  This is sound because control flow
+depends only on ``env``/params, never on machine state.  When no
+checkpointer is attached the instrumentation is two integer compares
+per unit, and the simulated run is bit-identical either way.
 """
 
 from __future__ import annotations
@@ -43,6 +57,14 @@ class Executor:
         self._leaf_cache: dict[int, LeafRecipe | None] = {}
         #: Hints whose addresses fell outside their array (dropped no-ops).
         self.out_of_range_hints = 0
+        #: Executed-unit cursor (work stmts, hints, leaf chunks).
+        self.units = 0
+        #: Units to skip-replay before going live (armed on resume).
+        self._skip_until = 0
+        #: Safe-point hook (a repro.checkpoint.runner.Checkpointer) or None.
+        self.checkpointer = None
+        #: One-shot callable run after array binding (snapshot restore).
+        self._resume_hook = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -65,6 +87,11 @@ class Executor:
     def run(self, program: Program, finish: bool = True) -> RunStats | None:
         """Execute ``program``; returns its stats when ``finish`` is set."""
         self._bind_arrays(program)
+        if self._resume_hook is not None:
+            # Restore the snapshot over the (deterministic) bound setup,
+            # then skip-replay to its cursor inside _exec_body below.
+            hook, self._resume_hook = self._resume_hook, None
+            hook(self)
         env = dict(program.params)
         obs = self.machine.obs
         if obs is not None:
@@ -78,19 +105,33 @@ class Executor:
             return self.machine.finish()
         return None
 
+    def _unit_done(self) -> None:
+        """Close one executed unit: advance the cursor, hit the safe point."""
+        self.units += 1
+        if self.checkpointer is not None:
+            self.checkpointer.at_safe_point(self)
+
     def _exec_body(self, body: list[Stmt], env: dict) -> None:
         machine = self.machine
         for stmt in body:
             if isinstance(stmt, Work):
+                if self.units < self._skip_until:
+                    self.units += 1
+                    continue
                 if stmt.cost_us:
                     machine.compute(stmt.cost_us)
                 for ref in stmt.refs:
                     vpage = self._ref_page(ref, env)
                     machine.access(vpage, ref.is_write)
+                self._unit_done()
             elif isinstance(stmt, Loop):
                 self._exec_loop(stmt, env)
             elif isinstance(stmt, Hint):
+                if self.units < self._skip_until:
+                    self.units += 1
+                    continue
                 self._exec_hint(stmt, env)
+                self._unit_done()
             elif isinstance(stmt, If):
                 branch = stmt.then_body if stmt.cond.eval(env) else stmt.else_body
                 self._exec_body(branch, env)
@@ -123,10 +164,15 @@ class Executor:
         else:
             recipe = None
         if recipe is not None:
+            # Either leaf form is one unit; skip mode never lowers it.
+            if self.units < self._skip_until:
+                self.units += 1
+                return
             if not recipe.templates:
                 # Pure compute: charge the whole loop in one step.
                 iters = -(-(upper - lower) // loop.step)
                 self.machine.compute(iters * recipe.iter_cost)
+                self._unit_done()
                 return
             values = np.arange(lower, upper, loop.step, dtype=np.int64)
             kinds, pages, costs, tail_cost = lower_leaf(
@@ -141,6 +187,7 @@ class Executor:
             self.machine.run_chunk(kinds, pages, costs)
             if tail_cost:
                 self.machine.compute(tail_cost)
+            self._unit_done()
             return
         for value in range(lower, upper, loop.step):
             env[loop.var] = value

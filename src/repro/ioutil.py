@@ -1,0 +1,75 @@
+"""Crash-safe file writes shared by every artifact producer.
+
+A half-written JSON report or checkpoint is worse than none: the bench
+gate, ``--resume-from``, and fault-plan loaders would all choke on a
+file truncated by a crash mid-``write``.  Every artifact writer in the
+repo therefore goes through one helper that writes to a temporary file
+in the destination directory and atomically renames it into place, so
+readers only ever observe the old complete file or the new complete
+file.
+
+``fsync`` is optional: checkpoints ask for it (they must survive the
+very crash they guard against), ordinary reports skip it (atomicity is
+enough; durability against power loss is not their contract).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_bytes(path: str | Path, data: bytes, *,
+                       fsync: bool = False) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    With ``fsync=True`` the file contents are flushed to stable storage
+    before the rename, and the directory entry after it -- the full
+    crash-consistency dance a checkpoint needs.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        # Persist the rename itself; best-effort (not all filesystems
+        # support directory fsync).
+        try:
+            dir_fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass
+        finally:
+            os.close(dir_fd)
+
+
+def atomic_write_text(path: str | Path, text: str, *,
+                      fsync: bool = False) -> None:
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)
+
+
+def atomic_write_json(path: str | Path, obj: Any, *, indent: int = 1,
+                      sort_keys: bool = True, fsync: bool = False) -> None:
+    """Serialize ``obj`` as JSON and write it atomically."""
+    text = json.dumps(obj, indent=indent, sort_keys=sort_keys) + "\n"
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

@@ -16,9 +16,9 @@ over time.
 
 from __future__ import annotations
 
-import json
 from typing import Any
 
+from repro.ioutil import atomic_write_json
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import TraceBuffer, TraceKind
 
@@ -43,6 +43,8 @@ KIND_LAYER: dict[TraceKind, str] = {
     TraceKind.DISK_REQUEST: "disk",
     TraceKind.DISK_RETRY: "disk",
     TraceKind.DISK_DEGRADED: "disk",
+    TraceKind.CHECKPOINT_WRITE: "machine",
+    TraceKind.CHECKPOINT_RESTORE: "machine",
 }
 
 
@@ -109,10 +111,9 @@ def write_chrome_trace(
     pid: int = 0,
     process_name: str = "repro-sim",
 ) -> None:
-    """Write a Perfetto-loadable trace JSON file."""
-    with open(path, "w") as fh:
-        json.dump(chrome_trace(buffer, pid, process_name), fh, indent=1)
-        fh.write("\n")
+    """Write a Perfetto-loadable trace JSON file, atomically."""
+    atomic_write_json(path, chrome_trace(buffer, pid, process_name),
+                      indent=1, sort_keys=False)
 
 
 #: Phases and fields the validator accepts / requires.
@@ -182,7 +183,5 @@ def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:
 
 
 def write_metrics_json(path: str, registry: MetricsRegistry) -> None:
-    """Write the run's metrics registry as a JSON artifact."""
-    with open(path, "w") as fh:
-        json.dump(metrics_json(registry), fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    """Write the run's metrics registry as a JSON artifact, atomically."""
+    atomic_write_json(path, metrics_json(registry), indent=1, sort_keys=True)

@@ -277,3 +277,16 @@ OBS_METRIC_NAMES: tuple[str, ...] = (
     "obs.retry_backoff_us",
     "obs.disk_idle_fraction",
 )
+
+#: Operational metrics of the checkpoint subsystem (registered only when
+#: a checkpointer runs with an observer attached).  Documented in the
+#: "Checkpoint metric reference" table of docs/robustness.md, which
+#: ``scripts/check_docs.py`` cross-checks against this list.
+CKPT_METRIC_NAMES: tuple[str, ...] = (
+    "ckpt.writes",
+    "ckpt.restores",
+    "ckpt.corrupt_skipped",
+    "ckpt.crashes_delivered",
+    "ckpt.payload_bytes",
+    "ckpt.last_cycle_us",
+)

@@ -66,6 +66,13 @@ class TraceKind(str, enum.Enum):
     #: arrive so its frame could be evicted (value = stall microseconds;
     #: vpage = -1, the wait is not attributable to one page).
     STALL_FRAME_WAIT = "stall_frame_wait"
+    #: One crash-consistent snapshot written (value = payload bytes;
+    #: tag = "seq<N>"; vpage = -1).  Pure observation: a checkpoint
+    #: costs no simulated time.
+    CHECKPOINT_WRITE = "checkpoint_write"
+    #: A run resumed from a snapshot (value = snapshot cycle; tag =
+    #: "seq<N>"; vpage = -1).  First event of a resumed incarnation.
+    CHECKPOINT_RESTORE = "checkpoint_restore"
 
 
 class TraceEvent(NamedTuple):
