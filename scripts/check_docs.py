@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Six authoritative reference tables are checked:
+Seven authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -15,7 +15,9 @@ Six authoritative reference tables are checked:
   field of the fault-plan dataclasses (``FaultPlan``, ``DiskFaultSpec``,
   ``SlowWindow``, ``PressureStorm``);
 * **Checkpoint metric reference** (docs/robustness.md) -- one row per
-  name in ``CKPT_METRIC_NAMES``.
+  name in ``CKPT_METRIC_NAMES``;
+* **Bench profile reference** (docs/performance.md) -- one row per
+  profile in ``repro.harness.bench.BENCH_PROFILES``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -37,6 +39,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "observability.md"
 ROBUSTNESS_DOC_PATH = REPO_ROOT / "docs" / "robustness.md"
+PERFORMANCE_DOC_PATH = REPO_ROOT / "docs" / "performance.md"
 
 #: Section heading -> what its table's first column enumerates.
 SECTIONS = {
@@ -103,6 +106,20 @@ def documented_ckpt_metrics(doc_path: Path = ROBUSTNESS_DOC_PATH) -> set[str]:
     return metrics
 
 
+def documented_bench_profiles(doc_path: Path = PERFORMANCE_DOC_PATH) -> set[str]:
+    """First-column tokens of the bench profile table."""
+    heading = "## Bench profile reference"
+    doc = doc_path.read_text()
+    if heading not in doc:
+        raise SystemExit(f"{doc_path}: missing section {heading!r}")
+    profiles = set()
+    for line in _section_text(doc, heading).splitlines():
+        match = _ROW_TOKEN.match(line.strip())
+        if match:
+            profiles.add(match.group(1))
+    return profiles
+
+
 def plan_fields_in_code() -> set[str]:
     """Every fault-plan dataclass field, named as the doc table names it."""
     import dataclasses
@@ -120,9 +137,11 @@ def plan_fields_in_code() -> set[str]:
 def check(
     doc_path: Path = DOC_PATH,
     robustness_doc_path: Path = ROBUSTNESS_DOC_PATH,
+    performance_doc_path: Path = PERFORMANCE_DOC_PATH,
 ) -> list[str]:
     """Returns a list of problems; empty means docs and code agree."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.harness.bench import BENCH_PROFILES
     from repro.obs.attrib import STALL_CAUSES
     from repro.obs.metrics import (
         CKPT_METRIC_NAMES,
@@ -163,6 +182,14 @@ def check(
         problems.append(
             f"checkpoint metric {stale!r} is documented but not in code")
 
+    doc_profiles = documented_bench_profiles(performance_doc_path)
+    for missing in sorted(set(BENCH_PROFILES) - doc_profiles):
+        problems.append(
+            f"bench profile {missing!r} is in code but not documented")
+    for stale in sorted(doc_profiles - set(BENCH_PROFILES)):
+        problems.append(
+            f"bench profile {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
     if len(set(CKPT_METRIC_NAMES)) != len(CKPT_METRIC_NAMES):
@@ -190,7 +217,8 @@ def main() -> int:
           f"{len(tokens['span_states'])} span states, "
           f"{len(tokens['stall_causes'])} stall causes, "
           f"{len(documented_plan_fields())} fault-plan fields, "
-          f"{len(documented_ckpt_metrics())} checkpoint metrics in sync)")
+          f"{len(documented_ckpt_metrics())} checkpoint metrics, "
+          f"{len(documented_bench_profiles())} bench profiles in sync)")
     return 0
 
 

@@ -32,10 +32,11 @@ from repro.errors import CheckpointError
 from repro.faults.inject import LaggedBitVector
 from repro.runtime.bitvector import ResidencyBitVector
 from repro.sim.clock import TimeCategory
+from repro.vm.page import PageColumns
 
 #: Version of the pickled state layout (independent of the container
 #: format version in :mod:`repro.checkpoint.store`).
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2  # v2: Page ref/dirty/version moved to PageColumns
 
 
 def _plan_fingerprint(plan) -> str | None:
@@ -75,9 +76,9 @@ def _capture_bitvector(vec) -> Any:
     if vec is None:
         return None
     if isinstance(vec, LaggedBitVector):
-        return ("lagged", bytes(vec.inner._bits), list(vec._pending))
+        return ("lagged", vec.inner.to_bytes(), list(vec._pending))
     if isinstance(vec, ResidencyBitVector):
-        return ("plain", bytes(vec._bits))
+        return ("plain", vec.to_bytes())
     raise CheckpointError(f"unknown bit-vector type {type(vec).__name__}")
 
 
@@ -271,12 +272,12 @@ def _restore_bitvector(vec, state) -> None:
     if state[0] == "lagged":
         if not isinstance(vec, LaggedBitVector):
             raise CheckpointError("snapshot bit vector is lagged, machine's is not")
-        vec.inner._bits = bytearray(state[1])
+        vec.inner.load_bytes(state[1])
         vec._pending = deque(state[2])
     else:
         if not isinstance(vec, ResidencyBitVector):
             raise CheckpointError("snapshot bit vector is plain, machine's is not")
-        vec._bits = bytearray(state[1])
+        vec.load_bytes(state[1])
 
 
 def _restore_metrics(registry, captured) -> None:
@@ -320,6 +321,15 @@ def _restore_state(machine, executor, state: dict[str, Any]) -> None:
     manager = machine.manager
     vm = state["vm"]
     manager.pages = vm["pages"]
+    if manager.pages:
+        # The unpickled pages share one PageColumns (pickle memo); adopt
+        # it as the manager's store so later page creation and the chunk
+        # kernel's bulk scatters hit the same arrays.
+        manager.cols = next(iter(manager.pages.values())).cols
+        for page in manager.pages.values():
+            manager.cols.ensure(page.vpage)
+    else:
+        manager.cols = PageColumns()
     ring = vm["ring"]
     manager.ring._ring = ring if isinstance(ring, deque) else deque(ring)
     manager.ring._live = vm["ring_live"]
@@ -339,6 +349,7 @@ def _restore_state(machine, executor, state: dict[str, Any]) -> None:
     manager._pressure_events = list(vm["pressure_events"])
     manager._ra_state = dict(vm["ra_state"])
     manager._bound_versions = dict(vm["bound_versions"])
+    manager.rebuild_fast_mask()
 
     _restore_bitvector(manager.bitvector, state["bitvector"])
 

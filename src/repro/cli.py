@@ -492,6 +492,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"{case.memory_pages} memory pages) ...", flush=True),
         # run_case re-labels per entry (<app>-<variant>-<profile>).
         checkpoint=_checkpoint_from_args(args, "bench"),
+        wall_reps=args.wall_reps,
     )
     write_report(out, report)
     rows = [[
@@ -508,17 +509,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if baseline is None:
         print("no baseline report; recorded only (use --baseline PATH to gate)")
         return 0
-    regressions, notes = compare_reports(report, baseline, args.threshold)
+    regressions, notes = compare_reports(
+        report, baseline, args.threshold, wall_threshold=args.wall_threshold
+    )
     for note in notes:
         print(f"note: {note}")
+    gates = f"sim threshold {100 * args.threshold:.0f}%"
+    if args.wall_threshold is not None:
+        gates += f", wall threshold {100 * args.wall_threshold:.0f}%"
     if regressions:
-        print(f"simulated-cycle regression vs {baseline_path} "
-              f"(threshold {100 * args.threshold:.0f}%):", file=sys.stderr)
+        print(f"benchmark regression vs {baseline_path} ({gates}):",
+              file=sys.stderr)
         for regression in regressions:
             print(f"  {regression.describe()}", file=sys.stderr)
         return 1
-    print(f"no simulated-cycle regression vs {baseline_path} "
-          f"(threshold {100 * args.threshold:.0f}%)")
+    print(f"no benchmark regression vs {baseline_path} ({gates})")
     return 0
 
 
@@ -806,18 +811,28 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the pinned EMBAR/MGRID/BUK workload set, write "
                     "a report, and gate simulated cycles against the "
                     "newest committed BENCH_PR<N>.json baseline; exits "
-                    "non-zero on a regression over the threshold.",
+                    "non-zero on a regression over the threshold.  The "
+                    "report format and per-field glossary are documented "
+                    "in docs/observability.md.",
     )
     p.add_argument("--smoke", action="store_true",
                    help="CI mode: only the small golden-trace footprint")
-    p.add_argument("--out", default="BENCH_PR4.json", metavar="FILE",
-                   help="report output path (default BENCH_PR4.json)")
+    p.add_argument("--out", default="BENCH_PR6.json", metavar="FILE",
+                   help="report output path (default BENCH_PR6.json)")
     p.add_argument("--baseline", default="auto", metavar="PATH",
                    help="baseline report; 'auto' finds the newest "
                         "BENCH_PR<N>.json next to --out, 'none' disables "
                         "the gate")
     p.add_argument("--threshold", type=float, default=0.10,
                    help="fractional simulated-cycle regression allowed")
+    p.add_argument("--wall-reps", type=int, default=3, metavar="N",
+                   help="repetitions per variant; wall_time_s records the "
+                        "best (minimum) of N (default 3)")
+    p.add_argument("--wall-threshold", type=float, default=None,
+                   metavar="FRAC",
+                   help="also gate wall_time_s at this fractional growth; "
+                        "only meaningful when baseline ran on a comparable "
+                        "host (default: off; see docs/observability.md)")
     add_ckpt_args(p)
 
     p = sub.add_parser("sweep", help="problem-size sweep (Figure 8 style)")

@@ -17,7 +17,7 @@ exact: only provably-hit events are batched.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from repro.errors import AddressError, ExecutionError
 from repro.machine.events import PREFETCH, READ, RELEASE, WRITE
 
 
-@dataclass
+@dataclass(slots=True)
 class EventTemplate:
     """One column of the chunk matrix: a ref or hint inside the leaf body."""
 
@@ -40,12 +40,15 @@ class EventTemplate:
     pre_cost: float
 
 
-@dataclass
+@dataclass(slots=True)
 class LeafRecipe:
     """Pre-analyzed lowering of one leaf loop body."""
 
     templates: list[EventTemplate]
     iter_cost: float
+    #: Per-iteration-count cache of the data-independent chunk columns
+    #: (kinds, cost template, merge masks); see :func:`lower_leaf`.
+    cache: dict = field(default_factory=dict)
 
 
 def analyze_leaf(loop: Loop) -> LeafRecipe | None:
@@ -120,24 +123,53 @@ def lower_leaf(
     page_size: int,
     segments: dict[str, tuple[int, int]],
     strides_map: dict[str, tuple[int, ...]],
-) -> tuple[list[int], list[int], list[float], float]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
     """Materialize the chunk for one execution of a leaf loop.
 
     ``segments`` maps array names to their (base, nbytes); every work
     access is bounds-checked against its segment, and hint events whose
     clamped addresses stay in range by construction are passed through.
     ``strides_map`` holds each array's resolved row-major element strides.
-    Returns parallel ``(kinds, pages, costs)`` lists plus the tail compute
-    time left over after the final event.
+    Returns parallel ``(kinds, pages, costs)`` numpy arrays plus the tail
+    compute time left over after the final event; the arrays feed
+    ``Machine.run_chunk``'s vectorized kernel without conversion.
     """
     n = len(values)
     ncols = len(recipe.templates)
     if n == 0 or ncols == 0:
-        return [], [], [], 0.0
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i, np.empty(0, dtype=np.float64), 0.0
+
+    # Everything that does not depend on the evaluated page numbers --
+    # the interleaved kind pattern, the per-event cost template, and the
+    # merge masks derived from kinds alone -- is identical for every
+    # strip of the same length, so it is computed once per (recipe, n)
+    # and reused across the loop's whole execution.
+    cached = recipe.cache.get(n)
+    if cached is None:
+        kinds_row = np.array([t.kind for t in recipe.templates], dtype=np.int64)
+        flat_kinds = np.tile(kinds_row, n)
+        flat_costs = np.zeros(n * ncols, dtype=np.float64)
+        col_costs = np.array(
+            [t.pre_cost for t in recipe.templates], dtype=np.float64
+        )
+        flat_costs.reshape(n, ncols)[:, :] = col_costs
+        is_access = flat_kinds <= WRITE
+        acc_and_prev = np.empty(n * ncols, dtype=bool)
+        acc_and_prev[0] = False
+        acc_and_prev[1:] = is_access[:-1] & is_access[1:]
+        # Running count of writes; lets the merged-run kind be computed
+        # with two gathers instead of a reduceat over the flat array (a
+        # run collapses to WRITE exactly when it contains a write).
+        is_write = flat_kinds == WRITE
+        write_csum = np.cumsum(is_write)
+        cached = (flat_kinds, flat_costs, acc_and_prev, is_write, write_csum)
+        if len(recipe.cache) >= 4:  # strips come in at most a couple lengths
+            recipe.cache.clear()
+        recipe.cache[n] = cached
+    flat_kinds, flat_costs, acc_and_prev, is_write, write_csum = cached
 
     pages = np.empty((n, ncols), dtype=np.int64)
-    kinds_row = np.empty(ncols, dtype=np.int64)
-
     for col, tmpl in enumerate(recipe.templates):
         array = tmpl.array
         base, nbytes = segments[array.name]
@@ -155,29 +187,67 @@ def lower_leaf(
                     f"(addresses [{low}, {high}], segment [{base}, {base + nbytes}))"
                 )
         pages[:, col] = addr // page_size
-        kinds_row[col] = tmpl.kind
 
     flat_pages = pages.reshape(-1)
-    flat_kinds = np.tile(kinds_row, n)
-    flat_costs = np.zeros(n * ncols, dtype=np.float64)
-    col_costs = np.array([t.pre_cost for t in recipe.templates], dtype=np.float64)
-    flat_costs.reshape(n, ncols)[:, :] = col_costs
 
     # Collapse consecutive same-page access runs.  Hints never collapse
     # (each must reach the filter), and an access never merges across a
     # hint boundary.
-    is_access = flat_kinds <= WRITE
-    same_page = np.empty(len(flat_pages), dtype=bool)
-    same_page[0] = False
-    same_page[1:] = flat_pages[1:] == flat_pages[:-1]
-    prev_access = np.empty(len(flat_pages), dtype=bool)
-    prev_access[0] = False
-    prev_access[1:] = is_access[:-1]
-    mergeable = same_page & is_access & prev_access
-    starts = np.flatnonzero(~mergeable)
+    mergeable = np.empty(n * ncols, dtype=bool)
+    mergeable[0] = False
+    np.equal(flat_pages[1:], flat_pages[:-1], out=mergeable[1:])
+    mergeable &= acc_and_prev
+    starts = (~mergeable).nonzero()[0]
+    total = n * ncols
+    ngroups = len(starts)
+
+    if ngroups == total:
+        # No merges at all: the flat columns *are* the chunk.  The cached
+        # kinds/costs arrays are returned directly -- every consumer
+        # treats them as read-only -- and every run's remainder is zero,
+        # so there is no tail.
+        return flat_kinds, flat_pages, flat_costs, 0.0
+
+    nmerged = total - ngroups
+    if nmerged <= 64:
+        # Near-singleton chunk (e.g. a data-dependent access stream that
+        # rarely repeats a page): gather the groups as if every run were
+        # a singleton, then patch the handful of multi-event runs in
+        # Python.  ``np.add.reduce`` over a run's slice is exactly what
+        # ``np.add.reduceat`` computes for that run, so the patched
+        # costs are bitwise those of the vector path below.
+        sizes = np.empty(ngroups, dtype=np.int64)
+        np.subtract(starts[1:], starts[:-1], out=sizes[:-1])
+        sizes[-1] = total - starts[-1]
+        multi = (sizes > 1).nonzero()[0]
+        if int(sizes.max()) <= 64:
+            group_pages = flat_pages[starts]
+            group_kinds = flat_kinds[starts]
+            costs = flat_costs[starts]
+            tail_cost = 0.0
+            for gi in multi.tolist():
+                s = int(starts[gi])
+                e = s + int(sizes[gi])
+                if flat_kinds[s:e].max() == WRITE:
+                    group_kinds[gi] = WRITE
+                run = flat_costs[s:e]
+                rem = float(np.add.reduce(run) - run[0])
+                if gi + 1 < ngroups:
+                    costs[gi + 1] += rem
+                else:
+                    tail_cost = rem
+            return group_kinds, group_pages, costs, tail_cost
 
     group_pages = flat_pages[starts]
-    group_kinds = np.maximum.reduceat(flat_kinds, starts)
+    # A merged run's kind: WRITE if the run contains any write, else the
+    # run's first kind (hints never merge, so a hint run is a singleton
+    # and keeps its own kind).  Counting writes per run from the cached
+    # running sum is exact integer math.
+    ends1 = np.empty(ngroups, dtype=np.int64)
+    np.subtract(starts[1:], 1, out=ends1[:-1])
+    ends1[-1] = total - 1
+    run_writes = write_csum[ends1] - write_csum[starts] + is_write[starts]
+    group_kinds = np.where(run_writes > 0, WRITE, flat_kinds[starts])
     # Cost attribution must preserve event timing: only the compute that
     # precedes a run's *first* access happens before the merged event; the
     # rest of the run's compute happens after it (before the next event),
@@ -190,4 +260,4 @@ def lower_leaf(
         costs[1:] += remainders[:-1]
     tail_cost = float(remainders[-1])
 
-    return group_kinds.tolist(), group_pages.tolist(), costs.tolist(), tail_cost
+    return group_kinds, group_pages, costs, tail_cost

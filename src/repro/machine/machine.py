@@ -15,6 +15,10 @@ memory-manager / run-time-layer paths when something slow actually happens
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+
 from repro.config import PlatformConfig
 from repro.errors import MachineError
 from repro.faults.inject import FaultInjector, LaggedBitVector
@@ -41,8 +45,20 @@ class Machine:
         binding_prefetch: bool = False,
         observer=None,
         fault_plan=None,
+        scalar_chunks: bool | None = None,
     ) -> None:
         self.config = config or PlatformConfig()
+        #: Force the scalar chunk loop (differential testing; also the
+        #: ``REPRO_SCALAR=1`` environment escape hatch).  The vectorized
+        #: kernel is bit-identical, so this only changes wall-clock.
+        if scalar_chunks is None:
+            scalar_chunks = os.environ.get("REPRO_SCALAR", "") not in ("", "0")
+        self.scalar_chunks = scalar_chunks
+        #: Fold-left partial sums of the per-prefetch filter overhead:
+        #: ``_ovh_seq[k]`` is exactly what ``k`` repetitions of
+        #: ``pending += filter_cost`` accumulate, so the vector kernel
+        #: charges bit-identical overhead without a Python loop.
+        self._ovh_seq: list[float] = [0.0]
         self.clock = Clock()
         self.stats = RunStats()
         #: Attached :class:`repro.obs.Observer`, or None.  Every layer
@@ -141,25 +157,73 @@ class Machine:
     # Bulk execution (the hot loop)
     # ------------------------------------------------------------------
 
-    def run_chunk(self, kinds: list[int], pages: list[int], costs: list[float]) -> None:
+    #: Classification window of the vectorized kernel: chunk suffixes are
+    #: classified (fast vs slow) this many events at a time, so a slow
+    #: event invalidating the classification never wastes more than one
+    #: window of numpy work.
+    _WINDOW = 2048
+    #: Below this many events the scalar loop beats the kernel's fixed
+    #: numpy setup cost, so tiny chunks stay on the reference path.
+    _SCALAR_CUTOFF = 128
+
+    def run_chunk(self, kinds, pages, costs) -> None:
         """Replay one lowered event chunk.
 
-        ``kinds``/``pages``/``costs`` are parallel lists; ``costs[i]`` is
-        the user compute time to charge *before* event ``i``.  READ/WRITE
-        events with a resident page and PREFETCH events dropped by the
-        filter are handled inline; everything else flushes the locally
-        accumulated time and goes through the full path.
+        ``kinds``/``pages``/``costs`` are parallel sequences (lists or
+        numpy arrays); ``costs[i]`` is the user compute time to charge
+        *before* event ``i``.  READ/WRITE events with a resident page and
+        PREFETCH events dropped by the filter are handled inline;
+        everything else flushes the locally accumulated time and goes
+        through the full path.
+
+        Two implementations replay a chunk, bit-identically (see
+        docs/performance.md for the equivalence argument):
+
+        * the **vectorized kernel** (default) classifies events in bulk
+          against the manager's fast-page mask and the residency bit
+          vector, charging whole fast segments with one ``np.cumsum``;
+        * the **scalar loop** walks events one by one.  It is kept for
+          runs the kernel cannot serve -- tracing, fault injection,
+          adaptive/unfiltered prefetch, binding mode -- for slow-dense
+          chunks where per-event work is cheaper, and as the
+          ``REPRO_SCALAR=1`` escape hatch for differential testing.
         """
         if not (len(kinds) == len(pages) == len(costs)):
             raise MachineError("run_chunk requires parallel lists of equal length")
+        runtime = self.runtime
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.clock.now, TraceKind.CHUNK, npages=len(kinds))
+        # The vectorized kernel only covers the plain-filter and
+        # no-runtime configurations: the adaptive state machine and an
+        # attached observer must see every request one at a time, fault
+        # injection interposes on every lookup, and binding
+        # instrumentation must observe every access.
+        if (
+            self.scalar_chunks
+            or len(kinds) < self._SCALAR_CUTOFF
+            or obs is not None
+            or self.injector is not None
+            or self.manager.binding
+            or (runtime is not None
+                and not (runtime.filter_enabled and not runtime.adaptive))
+        ):
+            if isinstance(kinds, np.ndarray):
+                kinds = kinds.tolist()
+                pages = pages.tolist()
+                costs = costs.tolist()
+            self._run_chunk_scalar(kinds, pages, costs)
+        else:
+            self._run_chunk_vector(kinds, pages, costs)
+
+    def _run_chunk_scalar(self, kinds: list, pages: list, costs: list) -> None:
+        """The reference event loop (one Python iteration per event)."""
         clock = self.clock
         manager = self.manager
         page_map = manager.pages
         resident = PageState.RESIDENT
         runtime = self.runtime
         obs = self.obs
-        if obs is not None:
-            obs.emit(clock.now, TraceKind.CHUNK, npages=len(kinds))
         # The inline filter fast path is only valid for the plain filter;
         # the adaptive state machine must see every request, so adaptive
         # runs route single-page prefetches through the layer.  An
@@ -246,6 +310,270 @@ class Machine:
         self.stats.faults.hits += hits
         self.stats.prefetch.filtered += filtered
         self.stats.prefetch.compiler_inserted += inserted
+
+    def _overhead_sum(self, k: int) -> float:
+        """Fold-left sum of ``k`` filter-overhead charges (bit-exact)."""
+        seq = self._ovh_seq
+        if len(seq) <= k:
+            step = self.config.cost.filter_check_us + self.config.cost.addr_gen_us
+            while len(seq) <= k:
+                seq.append(seq[-1] + step)
+        return seq[k]
+
+    def _run_chunk_vector(self, kinds, pages, costs) -> None:
+        """The numpy chunk kernel.
+
+        Classifies events in windows against the manager's fast-page mask
+        (accesses) and the residency bit vector (prefetches).  Fast events
+        never change classification state, so between two slow events a
+        whole segment can be charged at once: ``np.cumsum`` reproduces the
+        scalar loop's fold-left time accumulation bitwise, page effects
+        (ref/dirty bits, write versions) are bulk scatters into the
+        columnar page store, and the hit/filter counters come from mask
+        counts.  Surviving candidates are re-checked lazily (an O(1)
+        flag test at dispatch time); if a slow call dropped any fast
+        flag or filter bit (``drops`` counters), the rest of the window
+        is reclassified.
+        """
+        kinds_a = np.asarray(kinds, dtype=np.int64)
+        pages_a = np.asarray(pages, dtype=np.int64)
+        costs_a = np.asarray(costs, dtype=np.float64)
+        n = len(kinds_a)
+        if n == 0:
+            return
+        clock = self.clock
+        manager = self.manager
+        fast_mask = manager.fast
+        runtime = self.runtime
+        stats = self.stats
+        compute_cat = TimeCategory.USER_COMPUTE
+        overhead_cat = TimeCategory.USER_OVERHEAD
+        bitvec = runtime.bitvector if runtime is not None else None
+
+        # Reserving capacity for the chunk's maximum page number up front
+        # lets every window gather directly off the raw arrays with no
+        # bounds handling.  The raw references are re-read inside
+        # classify/refilter because growth reallocates the arrays.
+        maxp = int(pages_a.max())
+        fast_mask.reserve(maxp)
+        granularity = 1
+        if bitvec is not None:
+            bitvec.reserve(maxp)
+            granularity = bitvec.granularity
+        kmax = int(kinds_a.max())
+        all_access = kmax <= 1
+        has_bad = kmax > 3
+        if all_access:
+            is_access = is_pf = None
+            has_write = bool(kinds_a.any())
+            is_write = (kinds_a == 1) if has_write else None
+        else:
+            is_access = kinds_a <= 1
+            is_pf = kinds_a == 2
+            is_write = kinds_a == 1
+            has_write = bool(is_write.any())
+        cols = manager.cols
+        cols.ensure(maxp)
+
+        def classify(a: int, b: int) -> np.ndarray:
+            """Absolute indices in [a, b) that are slow under current state."""
+            pg = pages_a[a:b]
+            f = fast_mask.raw[pg] != 0
+            if not all_access:
+                f &= is_access[a:b]
+                if runtime is None:
+                    hint = ~is_access[a:b]
+                    if has_bad:
+                        hint &= kinds_a[a:b] <= 3
+                    f |= hint
+                else:
+                    idx = pg if granularity == 1 else pg // granularity
+                    f |= is_pf[a:b] & (bitvec.raw[idx] != 0)
+            return (~f).nonzero()[0] + a
+
+        def refilter(cand: np.ndarray, pg: np.ndarray,
+                     ka: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+            """Drop candidates that turned fast (state only improved).
+
+            ``pg``/``ka`` are the already-gathered page numbers and kinds
+            parallel to ``cand`` so re-checks cost no fresh gathers.
+            One slow call can turn *many* candidates fast at once (a
+            settled prefetch makes every later access to its page a
+            hit), so the bulk drop is what keeps the candidate walk
+            linear instead of per-stale-event.
+            """
+            f = fast_mask.raw[pg] != 0
+            if not all_access:
+                f &= ka <= 1
+                if runtime is None:
+                    hint = ka > 1
+                    if has_bad:
+                        hint &= ka <= 3
+                    f |= hint
+                else:
+                    idx = pg if granularity == 1 else pg // granularity
+                    f |= (ka == 2) & (bitvec.raw[idx] != 0)
+            keep = ~f
+            return cand[keep], pg[keep], ka[keep]
+
+        slow_writes: list[int] = []
+
+        def apply_effects(a: int, b: int) -> None:
+            """Page effects of the fast accesses in [a, b).
+
+            Two array scatters into the columnar page store: ref bits and
+            dirty bits are sticky (duplicate scatter == repeated
+            attribute write), so they go in per segment -- the very next
+            slow call may read them (victim selection, write-back).  The
+            column references are re-read every call because slow calls
+            can grow the store.
+            """
+            if a >= b:
+                return
+            pg = pages_a[a:b]
+            if all_access:
+                cols.ref[pg] = 1
+            else:
+                cols.ref[pg[is_access[a:b]]] = 1
+            if has_write:
+                w = pg[is_write[a:b]]
+                if w.size:
+                    cols.dirty[w] = 1
+
+        def flush_versions(upto: int) -> None:
+            """Write-version counters for every fast write in [0, upto).
+
+            Nothing reads versions mid-chunk (binding mode routes to the
+            scalar loop, checkpoints land between chunks), so one
+            ``np.bincount`` add per chunk replaces per-segment updates.
+            Slow-dispatched writes are excluded: the manager already
+            applied whatever version change the scalar loop would have.
+            """
+            if not has_write or upto <= 0:
+                return
+            w = pages_a[:upto][is_write[:upto]]
+            if w.size:
+                bc = np.bincount(w)
+                version = cols.version
+                version[: len(bc)] += bc
+                for v in slow_writes:
+                    version[v] -= 1
+        hits = 0
+        filtered = 0
+        inserted = 0
+        window = self._WINDOW
+        pos = 0        # next unprocessed event
+        seg_start = 0  # first event since the last time flush
+        slow_done = 0
+
+        def drops_now() -> int:
+            if bitvec is None:
+                return fast_mask.drops
+            return fast_mask.drops + bitvec.drops
+
+        while pos < n:
+            wend = min(n, pos + window)
+            cand = classify(pos, wend)
+            pg_c = pages_a[cand]
+            ka_c = kinds_a[cand]
+            bail = False
+            while len(cand):
+                sp = int(cand[0])
+                kind = int(ka_c[0])
+                vpage = int(pg_c[0])
+                # Close the fast segment [seg_start, sp): effects and
+                # counters for the prefix, then the slow event itself.
+                apply_effects(seg_start, sp)
+                if all_access:
+                    hits += sp - seg_start
+                    seg_pf = 0
+                else:
+                    hits += int(np.count_nonzero(is_access[seg_start:sp]))
+                    seg_pf = (int(np.count_nonzero(is_pf[seg_start:sp]))
+                              if runtime is not None else 0)
+                if kind > 3:
+                    # Match the scalar loop: die with locally accumulated
+                    # time unflushed and counters uncommitted, but with
+                    # every processed event's page effects applied.
+                    flush_versions(sp)
+                    raise MachineError(f"unknown event kind {kind}")
+                filtered += seg_pf
+                inserted += seg_pf
+                pending_compute = float(costs_a[seg_start:sp + 1].cumsum()[-1])
+                if kind == 2:
+                    inserted += 1
+                    seg_pf += 1
+                pending_overhead = (self._overhead_sum(seg_pf)
+                                    if runtime is not None else 0.0)
+                if pending_compute:
+                    clock.advance(pending_compute, compute_cat)
+                if pending_overhead:
+                    clock.advance(pending_overhead, overhead_cat)
+                drops_before = drops_now()
+                if kind <= 1:
+                    if kind == 1:
+                        slow_writes.append(vpage)
+                    manager.access(vpage, kind == 1)
+                elif kind == 2:
+                    # Filter bit known clear; counted and charged above.
+                    manager.prefetch_call(vpage, 1)
+                else:
+                    runtime.release([vpage])
+                pos = sp + 1
+                seg_start = pos
+                slow_done += 1
+                if slow_done >= 256 and pos < slow_done * 16:
+                    # Slow-dense chunk: per-event Python dispatch is
+                    # cheaper than per-segment numpy setup.
+                    bail = True
+                    break
+                if drops_now() != drops_before:
+                    # Something lost fast status: previously-fast events
+                    # in the rest of the window may now be slow, so the
+                    # cached classification is unsound -- redo it.
+                    cand = classify(pos, wend)
+                    pg_c = pages_a[cand]
+                    ka_c = kinds_a[cand]
+                elif len(cand) > 1:
+                    cand, pg_c, ka_c = refilter(cand[1:], pg_c[1:], ka_c[1:])
+                else:
+                    cand = cand[1:]
+            if bail:
+                flush_versions(pos)
+                stats.faults.hits += hits
+                stats.prefetch.filtered += filtered
+                stats.prefetch.compiler_inserted += inserted
+                self._run_chunk_scalar(
+                    kinds_a[pos:].tolist(),
+                    pages_a[pos:].tolist(),
+                    costs_a[pos:].tolist(),
+                )
+                return
+            pos = wend
+
+        # Trailing fast segment.
+        apply_effects(seg_start, n)
+        flush_versions(n)
+        if all_access:
+            hits += n - seg_start
+            seg_pf = 0
+        else:
+            hits += int(np.count_nonzero(is_access[seg_start:n]))
+            seg_pf = (int(np.count_nonzero(is_pf[seg_start:n]))
+                      if runtime is not None else 0)
+        filtered += seg_pf
+        inserted += seg_pf
+        if seg_start < n:
+            pending_compute = float(costs_a[seg_start:n].cumsum()[-1])
+            if pending_compute:
+                clock.advance(pending_compute, compute_cat)
+        pending_overhead = (self._overhead_sum(seg_pf)
+                            if runtime is not None else 0.0)
+        if pending_overhead:
+            clock.advance(pending_overhead, overhead_cat)
+        stats.faults.hits += hits
+        stats.prefetch.filtered += filtered
+        stats.prefetch.compiler_inserted += inserted
 
     # ------------------------------------------------------------------
     # Run boundary

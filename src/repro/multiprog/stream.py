@@ -107,6 +107,9 @@ class ProcessStream:
                 recipe, loop.var, values, env, self.page_size,
                 self._segments, self._strides,
             )
+            kinds = kinds.tolist()
+            pages = pages.tolist()
+            costs = costs.tolist()
             for k in range(len(kinds)):
                 yield ("event", kinds[k], pages[k], costs[k])
             if tail:

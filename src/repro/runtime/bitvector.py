@@ -15,9 +15,20 @@ group's bit, so the filter errs toward issuing (correct but slower), while
 a resident sibling can mask a non-resident page, in which case the dropped
 prefetch simply shows up later as an ordinary fault.  Hints are
 non-binding, so neither error affects correctness.
+
+The backing store is a numpy ``uint8`` array so that the machine's
+vectorized chunk kernel can evaluate the run-time filter for a whole
+batch of prefetch requests with one gather (:meth:`test_many`) instead
+of one Python call per request.  The scalar ``set``/``clear``/``test``
+API is unchanged; ``test_many(pages)`` is provably equivalent to
+``[test(p) for p in pages]`` because both read the same array with the
+same ``vpage // granularity`` index and out-of-range indices are False
+either way (see docs/performance.md).
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import ConfigError
 
@@ -25,17 +36,22 @@ from repro.errors import ConfigError
 class ResidencyBitVector:
     """Auto-growing bit vector over virtual pages, ``granularity`` pages/bit."""
 
-    __slots__ = ("granularity", "_bits")
+    __slots__ = ("granularity", "_bits", "drops")
 
     def __init__(self, granularity: int = 1) -> None:
         if granularity <= 0:
             raise ConfigError(f"bit-vector granularity must be positive, got {granularity}")
         self.granularity = granularity
-        self._bits = bytearray(1024)
+        self._bits = np.zeros(1024, dtype=np.uint8)
+        #: Count of 1 -> 0 bit transitions.  Mirrors
+        #: :attr:`repro.vm.residency.PageFlagVector.drops`: the chunk
+        #: kernel uses it to detect when cached filter classifications
+        #: may have turned optimistic (a set bit went away).
+        self.drops = 0
 
     def _ensure(self, index: int) -> None:
         if index >= len(self._bits):
-            grown = bytearray(max(index + 1, 2 * len(self._bits)))
+            grown = np.zeros(max(index + 1, 2 * len(self._bits)), dtype=np.uint8)
             grown[: len(self._bits)] = self._bits
             self._bits = grown
 
@@ -49,6 +65,8 @@ class ResidencyBitVector:
         """``vpage`` left memory (released or reclaimed)."""
         index = vpage // self.granularity
         if index < len(self._bits):
+            if self._bits[index]:
+                self.drops += 1
             self._bits[index] = 0
 
     def test(self, vpage: int) -> bool:
@@ -58,7 +76,44 @@ class ResidencyBitVector:
             return bool(self._bits[index])
         return False
 
+    def test_many(self, vpages: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`test` over an int64 array of page numbers.
+
+        Returns a boolean array; element i is exactly ``test(vpages[i])``
+        evaluated against the current bits.
+        """
+        bits = self._bits
+        if self.granularity != 1:
+            index = vpages // self.granularity
+        else:
+            index = vpages
+        in_range = index < len(bits)
+        clipped = np.where(in_range, index, 0)
+        return (bits[clipped] != 0) & in_range
+
+    def reserve(self, vpage: int) -> np.ndarray:
+        """Grow to cover ``vpage``'s bit and return the raw bit array.
+
+        Lets the chunk kernel test a whole window with a direct gather
+        (``bits[index] != 0``) instead of per-call bounds handling.
+        """
+        self._ensure(vpage // self.granularity)
+        return self._bits
+
+    # Serialization (checkpoint snapshots).
+    def to_bytes(self) -> bytes:
+        return self._bits.tobytes()
+
+    def load_bytes(self, blob: bytes) -> None:
+        self.drops += 1
+        bits = np.frombuffer(blob, dtype=np.uint8).copy()
+        if len(bits) < 1024:
+            grown = np.zeros(1024, dtype=np.uint8)
+            grown[: len(bits)] = bits
+            bits = grown
+        self._bits = bits
+
     # Exposed for the machine's inlined fast path.
     @property
-    def raw(self) -> bytearray:
+    def raw(self) -> np.ndarray:
         return self._bits

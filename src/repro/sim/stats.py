@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.sim.clock import Clock, TimeCategory
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeBreakdown:
     """Final per-category times of one run, in simulated microseconds."""
 
@@ -62,7 +62,7 @@ class TimeBreakdown:
         return self.user + self.system + self.idle
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultStats:
     """Page-fault classification (paper Figure 4(a)).
 
@@ -99,7 +99,7 @@ class FaultStats:
         return (self.prefetched_hit + self.prefetched_fault) / self.total_faults
 
 
-@dataclass
+@dataclass(slots=True)
 class PrefetchStats:
     """Prefetch accounting across the three layers (paper Figure 4(b)).
 
@@ -156,7 +156,7 @@ class PrefetchStats:
         return (self.disk_reads + self.reclaimed) / self.issued_pages
 
 
-@dataclass
+@dataclass(slots=True)
 class ReleaseStats:
     """Release-operation accounting (paper Table 3)."""
 
@@ -168,7 +168,7 @@ class ReleaseStats:
     noop: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskStats:
     """Per-run disk subsystem activity (paper Figure 5)."""
 
@@ -201,7 +201,7 @@ class DiskStats:
         return sum(self.busy_us) / (len(self.busy_us) * elapsed_us)
 
 
-@dataclass
+@dataclass(slots=True)
 class RobustnessStats:
     """Degraded-mode accounting of the run-time layer and the harness.
 
@@ -220,7 +220,7 @@ class RobustnessStats:
     storm_bursts: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryStats:
     """Memory-manager activity (paper Table 3)."""
 
@@ -239,7 +239,7 @@ class MemoryStats:
         return self.free_integral / (elapsed_us * self.frames_total)
 
 
-@dataclass
+@dataclass(slots=True)
 class RunStats:
     """Everything measured during one simulated run."""
 

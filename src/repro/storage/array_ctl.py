@@ -170,15 +170,18 @@ class DiskArray:
         Returns ``(vpage, completion_time)`` pairs for every page.
         """
         completions: list[tuple[int, float]] = []
+        extent = self.layout.extent_of(start_vpage)
+        base = extent.base_vpage
+        ext_block0 = extent.base_block
+        num_disks = self.config.num_disks
+        append = completions.append
         for disk_idx, block, count in self.layout.split_run(start_vpage, npages):
             done = self._submit(disk_idx, block, count, now, start_vpage,
                                 kind.value, is_read=True)
-            base = self.layout.extent_of(start_vpage).base_vpage
-            ext_block0 = self.layout.extent_of(start_vpage).base_block
-            first_offset = (block - ext_block0) * self.config.num_disks + disk_idx
-            for i in range(count):
-                vpage = base + first_offset + i * self.config.num_disks
-                completions.append((vpage, done))
+            vpage = base + (block - ext_block0) * num_disks + disk_idx
+            for _ in range(count):
+                append((vpage, done))
+                vpage += num_disks
         if kind is IOKind.FAULT:
             self.reads_fault += len(completions)
         else:

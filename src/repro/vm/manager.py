@@ -31,8 +31,9 @@ from repro.sim.clock import Clock, TimeCategory
 from repro.sim.stats import RunStats
 from repro.storage.array_ctl import DiskArray, IOKind
 from repro.vm.frames import FramePool
-from repro.vm.page import Page, PageState
+from repro.vm.page import Page, PageColumns, PageState
 from repro.vm.replacement import ClockRing
+from repro.vm.residency import PageFlagVector
 
 
 class AccessOutcome(enum.Enum):
@@ -89,6 +90,14 @@ class MemoryManager:
         self.frames = FramePool(config.available_frames)
         self.ring = ClockRing()
         self.pages: dict[int, Page] = {}
+        #: Vectorized mirror of the chunk kernel's fast-access predicate
+        #: (resident and past its first prefetched use); every state
+        #: transition below keeps it in sync so ``run_chunk`` can
+        #: classify a whole chunk of accesses with one numpy gather.
+        self.fast = PageFlagVector()
+        #: Columnar ref/dirty/version store shared by every Page; the
+        #: chunk kernel scatters whole fast segments into it.
+        self.cols = PageColumns()
         #: Pages currently IN_TRANSIT, for settle-on-pressure handling.
         self._in_transit: dict[int, Page] = {}
         self._free_last_us = 0.0
@@ -107,9 +116,24 @@ class MemoryManager:
     def page_of(self, vpage: int) -> Page:
         page = self.pages.get(vpage)
         if page is None:
-            page = Page(vpage)
+            self.cols.ensure(vpage)
+            page = Page(vpage, self.cols)
             self.pages[vpage] = page
         return page
+
+    def rebuild_fast_mask(self) -> None:
+        """Recompute the fast-access mask from the page table.
+
+        Needed after a checkpoint restore, which replaces ``pages``
+        wholesale; every other mutation keeps the mask in sync inline.
+        """
+        self.fast.clear()
+        mark = self.fast.mark
+        for vpage, page in self.pages.items():
+            if page.state == PageState.RESIDENT and (
+                page.used_since_arrival or not page.via_prefetch
+            ):
+                mark(vpage)
 
     # ------------------------------------------------------------------
     # Multiprogramming pressure (future-work extension, paper Section 6)
@@ -151,6 +175,7 @@ class MemoryManager:
                     discarded = self.pages[stolen]
                     discarded.state = PageState.ON_DISK
                     discarded.via_prefetch = False
+                    self.fast.unmark(stolen)
                     if self.bitvector is not None:
                         self.bitvector.clear(stolen)
                     self.frames.convert_in_use_to_reserved()
@@ -172,6 +197,7 @@ class MemoryManager:
                 victim.state = PageState.ON_DISK
                 victim.via_prefetch = False
                 victim.used_since_arrival = False
+                self.fast.unmark(victim.vpage)
                 if self.bitvector is not None:
                     self.bitvector.clear(victim.vpage)
                 self.frames.convert_in_use_to_reserved()
@@ -246,6 +272,7 @@ class MemoryManager:
         victim.state = PageState.ON_DISK
         victim.via_prefetch = False
         victim.used_since_arrival = False
+        self.fast.unmark(victim.vpage)
         if self.bitvector is not None:
             self.bitvector.clear(victim.vpage)
         # The victim's frame transfers directly to the new page: no change
@@ -281,6 +308,7 @@ class MemoryManager:
             victim.state = PageState.ON_DISK
             victim.via_prefetch = False
             victim.used_since_arrival = False
+            self.fast.unmark(victim.vpage)
             if self.bitvector is not None:
                 self.bitvector.clear(victim.vpage)
             self.frames.surrender()
@@ -296,6 +324,7 @@ class MemoryManager:
             discarded = self.pages[stolen]
             discarded.state = PageState.ON_DISK
             discarded.via_prefetch = False
+            self.fast.unmark(stolen)
             if self.bitvector is not None:
                 self.bitvector.clear(stolen)
             return
@@ -313,6 +342,7 @@ class MemoryManager:
             discarded = self.pages[stolen]
             discarded.state = PageState.ON_DISK
             discarded.via_prefetch = False
+            self.fast.unmark(stolen)
             if self.bitvector is not None:
                 self.bitvector.clear(stolen)
             return True
@@ -326,7 +356,8 @@ class MemoryManager:
         """Perform one memory access, charging all costs to the clock."""
         page = self.pages.get(vpage)
         if page is None:
-            page = Page(vpage)
+            self.cols.ensure(vpage)
+            page = Page(vpage, self.cols)
             self.pages[vpage] = page
         state = page.state
         if state == PageState.FREELIST:
@@ -350,6 +381,7 @@ class MemoryManager:
             if page.via_prefetch and not page.used_since_arrival:
                 page.used_since_arrival = True
                 page.prefetched_pending = False
+                self.fast.mark(vpage)
                 self.stats.faults.prefetched_hit += 1
                 if self.obs is not None:
                     now = self.clock.now
@@ -367,6 +399,7 @@ class MemoryManager:
             page.state = PageState.RESIDENT
             page.used_since_arrival = True
             page.prefetched_pending = False
+            self.fast.mark(vpage)
             if is_write:
                 page.dirty = True
                 page.version += 1
@@ -402,6 +435,7 @@ class MemoryManager:
             page.state = PageState.RESIDENT
             page.via_prefetch = False
             page.used_since_arrival = True
+            self.fast.mark(vpage)
             if is_write:
                 page.dirty = True
                 page.version += 1
@@ -422,6 +456,7 @@ class MemoryManager:
         page.via_prefetch = False
         page.used_since_arrival = True
         page.arrival_us = completion
+        self.fast.mark(vpage)
         if is_write:
             page.dirty = True
             page.version += 1
@@ -519,7 +554,8 @@ class MemoryManager:
         """
         page = self.pages.get(vpage)
         if page is None:
-            page = Page(vpage)
+            self.cols.ensure(vpage)
+            page = Page(vpage, self.cols)
             self.pages[vpage] = page
         state = page.state
         if state == PageState.FREELIST:
@@ -537,6 +573,7 @@ class MemoryManager:
             if page.via_prefetch and not page.used_since_arrival:
                 page.used_since_arrival = True
                 page.prefetched_pending = False
+                self.fast.mark(vpage)
                 if page.arrival_us <= clock.now:
                     self.stats.faults.prefetched_hit += 1
                     if self.obs is not None:
@@ -562,6 +599,7 @@ class MemoryManager:
             page.state = PageState.RESIDENT
             page.used_since_arrival = True
             page.prefetched_pending = False
+            self.fast.mark(vpage)
             if is_write:
                 page.dirty = True
                 page.version += 1
@@ -590,6 +628,7 @@ class MemoryManager:
             page.state = PageState.RESIDENT
             page.via_prefetch = False
             page.used_since_arrival = True
+            self.fast.mark(vpage)
             if is_write:
                 page.dirty = True
                 page.version += 1
@@ -609,6 +648,7 @@ class MemoryManager:
         page.via_prefetch = False
         page.used_since_arrival = True
         page.arrival_us = completion
+        self.fast.mark(vpage)
         if is_write:
             page.dirty = True
             page.version += 1
@@ -686,9 +726,10 @@ class MemoryManager:
             completions = self.disks.read_run(
                 run_start, len(run_pages), clock.now, IOKind.PREFETCH
             )
-            arrival_by_vpage = dict(completions)
-            for pg in run_pages:
-                pg.arrival_us = arrival_by_vpage[pg.vpage]
+            # The run is contiguous from run_start, so each completion
+            # addresses its page directly -- no intermediate dict.
+            for vpage, done in completions:
+                run_pages[vpage - run_start].arrival_us = done
             pstats.disk_reads += len(run_pages)
             if self.obs is not None:
                 self.obs.emit(clock.now, TraceKind.PREFETCH_ISSUED,
@@ -696,29 +737,35 @@ class MemoryManager:
             run_start = None
             run_pages = []
 
+        page_of = self.page_of
+        binding = self.binding
+        obs = self.obs
+        bitvector = self.bitvector
+        in_transit = self._in_transit
+        try_frame = self._try_frame_for_prefetch
         for vpage in range(start_vpage, start_vpage + npages):
-            page = self.page_of(vpage)
+            page = page_of(vpage)
             state = page.state
             if state == PageState.FREELIST:
                 # Let due daemon/pressure work steal the frame now if it
                 # is going to; re-dispatch on the refreshed state.
                 self._tick_free()
                 state = page.state
-            if self.binding:
+            if binding:
                 # An explicit asynchronous read() copies the value of
                 # every requested page at issue time, resident or not.
                 self._bound_versions[vpage] = page.version
             if state == PageState.RESIDENT:
                 pstats.unnecessary_issued += 1
-                if self.obs is not None:
-                    self.obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
-                                  vpage, tag="resident")
+                if obs is not None:
+                    obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
+                             vpage, tag="resident")
                 flush_run()
             elif state == PageState.IN_TRANSIT:
                 pstats.in_transit += 1
-                if self.obs is not None:
-                    self.obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
-                                  vpage, tag="in_transit")
+                if obs is not None:
+                    obs.emit(clock.now, TraceKind.PREFETCH_UNNECESSARY,
+                             vpage, tag="in_transit")
                 flush_run()
             elif state == PageState.FREELIST:
                 if not self.frames.reclaim(vpage):
@@ -731,32 +778,32 @@ class MemoryManager:
                 page.used_since_arrival = False
                 page.arrival_us = clock.now
                 self.ring.insert(page)
-                if self.bitvector is not None:
-                    self.bitvector.set(vpage)
+                if bitvector is not None:
+                    bitvector.set(vpage)
                 pstats.reclaimed += 1
-                if self.obs is not None:
-                    self.obs.emit(clock.now, TraceKind.PREFETCH_RECLAIMED, vpage)
+                if obs is not None:
+                    obs.emit(clock.now, TraceKind.PREFETCH_RECLAIMED, vpage)
                 flush_run()
             else:  # ON_DISK
                 page.prefetched_pending = True
-                if self._try_frame_for_prefetch():
+                if try_frame():
                     page.state = PageState.IN_TRANSIT
                     page.via_prefetch = True
                     page.used_since_arrival = False
                     # Unsettleable until flush_run issues the disk read
                     # and records the real completion time.
                     page.arrival_us = float("inf")
-                    self._in_transit[vpage] = page
-                    if self.bitvector is not None:
-                        self.bitvector.set(vpage)
+                    in_transit[vpage] = page
+                    if bitvector is not None:
+                        bitvector.set(vpage)
                     if run_start is None:
                         run_start = vpage
                     run_pages.append(page)
                 else:
                     pstats.dropped += 1
-                    if self.obs is not None:
-                        self.obs.emit(clock.now, TraceKind.PREFETCH_DROPPED,
-                                      vpage)
+                    if obs is not None:
+                        obs.emit(clock.now, TraceKind.PREFETCH_DROPPED,
+                                 vpage)
                     flush_run()
         flush_run()
 
@@ -774,8 +821,14 @@ class MemoryManager:
         clock = self.clock
         rstats = self.stats.release
         released = writebacks = 0
+        pages_get = self.pages.get
+        tick_free = self._tick_free
+        ring_forget = self.ring.forget
+        fast_unmark = self.fast.unmark
+        add_to_freelist = self.frames.add_to_freelist
+        bitvector = self.bitvector
         for vpage in vpages:
-            page = self.pages.get(vpage)
+            page = pages_get(vpage)
             if page is None or page.state != PageState.RESIDENT:
                 rstats.noop += 1
                 continue
@@ -784,7 +837,7 @@ class MemoryManager:
             # must never observe the page half-moved (state changed but
             # not yet on the pool's free list) -- and which may evict this
             # very page, so the residency check repeats afterwards.
-            self._tick_free()
+            tick_free()
             if page.state != PageState.RESIDENT:
                 rstats.noop += 1
                 continue
@@ -793,12 +846,13 @@ class MemoryManager:
                 rstats.writebacks += 1
                 writebacks += 1
                 page.dirty = False
-            self.ring.forget(page)
+            ring_forget(page)
             page.state = PageState.FREELIST
             page.via_prefetch = False
-            self.frames.add_to_freelist(vpage)
-            if self.bitvector is not None:
-                self.bitvector.clear(vpage)
+            fast_unmark(vpage)
+            add_to_freelist(vpage)
+            if bitvector is not None:
+                bitvector.clear(vpage)
             rstats.pages_released += 1
             released += 1
         if self.obs is not None and vpages:
@@ -821,6 +875,7 @@ class MemoryManager:
             page.state = PageState.RESIDENT
             page.via_prefetch = False
             page.used_since_arrival = True
+            self.fast.mark(vpage)
             self.ring.insert(page)
             if self.bitvector is not None:
                 self.bitvector.set(vpage)

@@ -1,0 +1,89 @@
+"""Vectorized residency index over the page table.
+
+The memory manager keeps one :class:`PageFlagVector` -- a growable numpy
+``uint8`` array indexed by virtual page number -- that mirrors, for every
+page, the *fast-access predicate* of the chunk kernel::
+
+    page.state == RESIDENT and (page.used_since_arrival or not page.via_prefetch)
+
+A page satisfying the predicate can be read or written without entering
+the memory manager at all: the access is a plain hit (or the repeat use
+of an already-counted prefetched page), so the only architectural effects
+are the reference bit, the dirty bit, and the write-version counter.
+Everything else -- first use of a prefetched page, reclaims, faults --
+must take the slow path, where the manager updates this mask at every
+state transition (the transitions are enumerated in
+docs/performance.md).
+
+The payoff is that :meth:`take` classifies a whole chunk of accesses with
+one numpy gather instead of one dict lookup + three attribute reads per
+event, which is what makes the vectorized hot path of
+:meth:`repro.machine.machine.Machine.run_chunk` possible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PageFlagVector:
+    """Auto-growing one-byte-per-page flag array with bulk gather."""
+
+    __slots__ = ("_flags", "drops")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._flags = np.zeros(max(1, capacity), dtype=np.uint8)
+        #: Count of 1 -> 0 transitions (pages losing fast status).  The
+        #: chunk kernel snapshots this around each slow call: while it is
+        #: unchanged, previously computed fast classifications can only
+        #: have become *pessimistic* (pages turning fast), never wrong.
+        self.drops = 0
+
+    def _ensure(self, vpage: int) -> None:
+        if vpage >= len(self._flags):
+            grown = np.zeros(max(vpage + 1, 2 * len(self._flags)), dtype=np.uint8)
+            grown[: len(self._flags)] = self._flags
+            self._flags = grown
+
+    def mark(self, vpage: int) -> None:
+        """The page now satisfies the fast-access predicate."""
+        self._ensure(vpage)
+        self._flags[vpage] = 1
+
+    def unmark(self, vpage: int) -> None:
+        """The page no longer satisfies the predicate."""
+        if vpage < len(self._flags):
+            if self._flags[vpage]:
+                self.drops += 1
+            self._flags[vpage] = 0
+
+    def test(self, vpage: int) -> bool:
+        if vpage < len(self._flags):
+            return bool(self._flags[vpage])
+        return False
+
+    def take(self, vpages: np.ndarray) -> np.ndarray:
+        """Boolean gather: element i is ``test(vpages[i])``."""
+        flags = self._flags
+        in_range = vpages < len(flags)
+        clipped = np.where(in_range, vpages, 0)
+        return (flags[clipped] != 0) & in_range
+
+    def reserve(self, vpage: int) -> np.ndarray:
+        """Grow to cover ``vpage`` and return the raw flag array.
+
+        The chunk kernel calls this once per chunk with the chunk's
+        maximum page number so its per-window gathers can skip bounds
+        handling (``flags[pg] != 0`` directly).
+        """
+        self._ensure(vpage)
+        return self._flags
+
+    def clear(self) -> None:
+        self.drops += 1
+        self._flags[:] = 0
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The raw flag array (re-read after any call that may grow it)."""
+        return self._flags

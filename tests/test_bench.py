@@ -135,6 +135,34 @@ class TestCompareReports:
         )
         assert regressions == []
 
+    def test_wall_slack_absorbs_millisecond_noise(self):
+        # 2x drift on a 20 ms wall is scheduler noise, not a regression.
+        current = self._report(1_000_000.0)
+        current["entries"][0]["wall_time_s"] = 0.04
+        baseline = self._report(1_000_000.0)
+        baseline["entries"][0]["wall_time_s"] = 0.02
+        regressions, _ = compare_reports(
+            current, baseline, 0.10, wall_threshold=0.20
+        )
+        assert regressions == []
+
+    def test_wall_gate_trips_past_threshold_plus_slack(self):
+        current = self._report(1_000_000.0)
+        current["entries"][0]["wall_time_s"] = 0.70
+        baseline = self._report(1_000_000.0)
+        baseline["entries"][0]["wall_time_s"] = 0.50
+        regressions, _ = compare_reports(
+            current, baseline, 0.10, wall_threshold=0.20
+        )
+        (reg,) = regressions
+        assert reg.metric == "wall"
+        assert "wall" in reg.describe()
+
+    def test_negative_wall_slack_rejected(self):
+        with pytest.raises(ConfigError):
+            compare_reports(self._report(1.0), self._report(1.0), 0.1,
+                            wall_threshold=0.2, wall_slack=-0.01)
+
     def test_missing_baseline_entry_is_a_note(self):
         current = self._report(1_000_000.0)
         current["entries"][0]["app"] = "MGRID"
@@ -181,14 +209,19 @@ class TestBenchCli:
         write_report(tmp_path / "BENCH_PR1.json", smoke_report)
         out = tmp_path / "BENCH_PR2.json"
         assert main(["bench", "--smoke", "--out", str(out)]) == 0
-        assert "no simulated-cycle regression" in capsys.readouterr().out
+        assert "no benchmark regression" in capsys.readouterr().out
 
     def test_committed_baseline_matches_current_code(self, capsys):
-        """The repo-root BENCH_PR4.json must reflect today's simulator."""
+        """The newest repo-root BENCH_PR<N>.json must reflect today's
+        simulator."""
         from pathlib import Path
 
+        from repro.harness.bench import find_baseline
+
         root = Path(__file__).resolve().parent.parent
-        committed = load_report(root / "BENCH_PR4.json")
+        newest = find_baseline(root)
+        assert newest is not None
+        committed = load_report(newest)
         by_key = {entry_key(e): e for e in committed["entries"]}
         current = run_bench(smoke_cases())
         for entry in current["entries"]:

@@ -67,3 +67,26 @@ def test_lint_catches_drift(check_docs, tmp_path):
     )
     problems = check_docs.check(mutated)
     assert any("too_late_renamed" in p for p in problems)
+
+
+def test_bench_profile_table_matches_registry(check_docs):
+    from repro.harness.bench import BENCH_PROFILES
+
+    assert check_docs.documented_bench_profiles() == set(BENCH_PROFILES)
+
+
+def test_lint_catches_bench_profile_drift(check_docs, tmp_path):
+    """The performance.md bench-profile table is linted both ways."""
+    doc = (REPO_ROOT / "docs" / "performance.md").read_text()
+    mutated = tmp_path / "performance.md"
+
+    # A documented profile the harness does not have.
+    mutated.write_text(doc.replace("| `smoke` |", "| `smoke_renamed` |"))
+    problems = check_docs.check(performance_doc_path=mutated)
+    assert any("smoke_renamed" in p for p in problems)
+    assert any("'smoke'" in p for p in problems)
+
+    # A harness profile missing from the doc.
+    mutated.write_text(doc.replace("| `table3` |", "| not-a-row |"))
+    problems = check_docs.check(performance_doc_path=mutated)
+    assert any("'table3'" in p and "not documented" in p for p in problems)

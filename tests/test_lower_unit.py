@@ -19,8 +19,10 @@ def lower(loop_node, env=None, segments=None, strides=None, lo=0, hi=None):
     assert recipe is not None
     hi = hi if hi is not None else loop_node.upper.eval(env or {})
     values = np.arange(lo, hi, loop_node.step, dtype=np.int64)
-    return lower_leaf(recipe, loop_node.var, values, env or {}, PAGE,
-                      segments, strides)
+    kinds, pages, costs, tail = lower_leaf(
+        recipe, loop_node.var, values, env or {}, PAGE, segments, strides
+    )
+    return kinds.tolist(), pages.tolist(), costs.tolist(), tail
 
 
 class TestLowering:
@@ -87,8 +89,11 @@ class TestLowering:
         arr, segments, strides = self._setup()
         lp = loop("i", 5, 5, [work([read(arr, Var("i"))], 1.0)])
         recipe = analyze_leaf(lp)
-        out = lower_leaf(recipe, "i", np.arange(0), {}, PAGE, segments, strides)
-        assert out == ([], [], [], 0.0)
+        kinds, pages, costs, tail = lower_leaf(
+            recipe, "i", np.arange(0), {}, PAGE, segments, strides
+        )
+        assert len(kinds) == len(pages) == len(costs) == 0
+        assert tail == 0.0
 
     @settings(max_examples=30, deadline=None)
     @given(
@@ -109,4 +114,5 @@ class TestLowering:
         )
         assert sum(costs) + tail == pytest.approx(len(values) * cost)
         # Page sequence is non-decreasing for a forward stream.
+        pages = pages.tolist()
         assert pages == sorted(pages)
