@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Seven authoritative reference tables are checked:
+Nine authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -17,7 +17,11 @@ Seven authoritative reference tables are checked:
 * **Checkpoint metric reference** (docs/robustness.md) -- one row per
   name in ``CKPT_METRIC_NAMES``;
 * **Bench profile reference** (docs/performance.md) -- one row per
-  profile in ``repro.harness.bench.BENCH_PROFILES``.
+  profile in ``repro.harness.bench.BENCH_PROFILES``;
+* **JobSpec schema reference** (docs/serving.md) -- one row per field
+  of ``repro.serve.jobspec.JobSpec``;
+* **Serve metric reference** (docs/serving.md) -- one row per name in
+  ``SERVE_METRIC_NAMES``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -40,6 +44,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_PATH = REPO_ROOT / "docs" / "observability.md"
 ROBUSTNESS_DOC_PATH = REPO_ROOT / "docs" / "robustness.md"
 PERFORMANCE_DOC_PATH = REPO_ROOT / "docs" / "performance.md"
+SERVING_DOC_PATH = REPO_ROOT / "docs" / "serving.md"
 
 #: Section heading -> what its table's first column enumerates.
 SECTIONS = {
@@ -120,6 +125,22 @@ def documented_bench_profiles(doc_path: Path = PERFORMANCE_DOC_PATH) -> set[str]
     return profiles
 
 
+def documented_serve_tokens(doc_path: Path = SERVING_DOC_PATH) -> dict[str, set[str]]:
+    """First-column tokens of the serving doc's two reference tables."""
+    doc = doc_path.read_text()
+    tokens: dict[str, set[str]] = {}
+    for heading, bucket in (("## JobSpec schema reference", "jobspec_fields"),
+                            ("## Serve metric reference", "serve_metrics")):
+        if heading not in doc:
+            raise SystemExit(f"{doc_path}: missing section {heading!r}")
+        tokens[bucket] = set()
+        for line in _section_text(doc, heading).splitlines():
+            match = _ROW_TOKEN.match(line.strip())
+            if match:
+                tokens[bucket].add(match.group(1))
+    return tokens
+
+
 def plan_fields_in_code() -> set[str]:
     """Every fault-plan dataclass field, named as the doc table names it."""
     import dataclasses
@@ -138,8 +159,11 @@ def check(
     doc_path: Path = DOC_PATH,
     robustness_doc_path: Path = ROBUSTNESS_DOC_PATH,
     performance_doc_path: Path = PERFORMANCE_DOC_PATH,
+    serving_doc_path: Path = SERVING_DOC_PATH,
 ) -> list[str]:
     """Returns a list of problems; empty means docs and code agree."""
+    import dataclasses
+
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.harness.bench import BENCH_PROFILES
     from repro.obs.attrib import STALL_CAUSES
@@ -147,9 +171,11 @@ def check(
         CKPT_METRIC_NAMES,
         OBS_METRIC_NAMES,
         RUN_METRIC_NAMES,
+        SERVE_METRIC_NAMES,
     )
     from repro.obs.spans import SpanState
     from repro.obs.trace import TraceKind
+    from repro.serve.jobspec import JobSpec
 
     doc = documented_tokens(doc_path)
     in_code = {
@@ -190,10 +216,27 @@ def check(
         problems.append(
             f"bench profile {stale!r} is documented but not in code")
 
+    serve_doc = documented_serve_tokens(serving_doc_path)
+    jobspec_fields = {f.name for f in dataclasses.fields(JobSpec)}
+    for missing in sorted(jobspec_fields - serve_doc["jobspec_fields"]):
+        problems.append(
+            f"job-spec field {missing!r} is in code but not documented")
+    for stale in sorted(serve_doc["jobspec_fields"] - jobspec_fields):
+        problems.append(
+            f"job-spec field {stale!r} is documented but not in code")
+    for missing in sorted(set(SERVE_METRIC_NAMES) - serve_doc["serve_metrics"]):
+        problems.append(
+            f"serve metric {missing!r} is in code but not documented")
+    for stale in sorted(serve_doc["serve_metrics"] - set(SERVE_METRIC_NAMES)):
+        problems.append(
+            f"serve metric {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
     if len(set(CKPT_METRIC_NAMES)) != len(CKPT_METRIC_NAMES):
         problems.append("CKPT_METRIC_NAMES contains duplicates")
+    if len(set(SERVE_METRIC_NAMES)) != len(SERVE_METRIC_NAMES):
+        problems.append("SERVE_METRIC_NAMES contains duplicates")
     overlap = set(RUN_METRIC_NAMES) & set(OBS_METRIC_NAMES)
     if overlap:
         problems.append(f"names in both RUN and OBS lists: {sorted(overlap)}")
@@ -202,6 +245,12 @@ def check(
     if overlap:
         problems.append(
             f"names in both CKPT and RUN/OBS lists: {sorted(overlap)}")
+    overlap = set(SERVE_METRIC_NAMES) & (set(RUN_METRIC_NAMES)
+                                         | set(OBS_METRIC_NAMES)
+                                         | set(CKPT_METRIC_NAMES))
+    if overlap:
+        problems.append(
+            f"names in both SERVE and other lists: {sorted(overlap)}")
     return problems
 
 
@@ -212,13 +261,16 @@ def main() -> int:
     if problems:
         return 1
     tokens = documented_tokens()
+    serve_tokens = documented_serve_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
           f"{len(tokens['metrics'])} metrics, "
           f"{len(tokens['span_states'])} span states, "
           f"{len(tokens['stall_causes'])} stall causes, "
           f"{len(documented_plan_fields())} fault-plan fields, "
           f"{len(documented_ckpt_metrics())} checkpoint metrics, "
-          f"{len(documented_bench_profiles())} bench profiles in sync)")
+          f"{len(documented_bench_profiles())} bench profiles, "
+          f"{len(serve_tokens['jobspec_fields'])} job-spec fields, "
+          f"{len(serve_tokens['serve_metrics'])} serve metrics in sync)")
     return 0
 
 

@@ -78,8 +78,11 @@ def main(argv: list[str]) -> int:
         sections.append(path.read_text().rstrip())
         sections.append("```")
         sections.append("")
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.ioutil import atomic_write_text
+
     out = REPO / "RESULTS.md"
-    out.write_text("\n".join(sections))
+    atomic_write_text(out, "\n".join(sections))
     print(f"wrote {out} ({len(ORDER) - len(missing)} sections)")
     if missing:
         print("missing renderings:", ", ".join(missing))

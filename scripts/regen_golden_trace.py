@@ -17,7 +17,6 @@ construction.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "data" / "embar_trace_golden.json"
@@ -57,10 +56,10 @@ def main() -> int:
         for problem in problems:
             print(f"INVALID: {problem}")
         return 1
+    from repro.ioutil import atomic_write_json
+
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    with open(GOLDEN_PATH, "w") as fh:
-        json.dump(trace, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(GOLDEN_PATH, trace)
     print(f"wrote {GOLDEN_PATH} ({len(trace['traceEvents'])} trace records)")
     return 0
 

@@ -14,6 +14,7 @@
     python -m repro profile EMBAR             # collapsed stacks + disk timeline
     python -m repro bench --smoke             # perf-trajectory benchmark
     python -m repro chaos EMBAR --quick       # fault-injection sweep
+    python -m repro serve submit --demo 20    # supervised job farm
 
 ``run``, ``compare``, ``sweep``, ``multiprog``, ``explain``, and
 ``profile`` accept ``--trace FILE`` (Chrome trace_event JSON,
@@ -30,6 +31,11 @@ docs/robustness.md.
 PATH``, and ``--ignore-crash-faults``.  A planned ``process_crash``
 fault (or a pending one from a resumed plan) terminates the process
 with exit code 3 and a resume hint; see docs/robustness.md.
+
+``serve`` runs batches of jobs on a supervised multiprocess worker
+farm with heartbeats, retry/backoff, checkpoint-driven preemption, and
+load shedding; see docs/serving.md.  Exit codes across all commands
+follow :class:`repro.errors.ExitCode`.
 """
 
 from __future__ import annotations
@@ -43,9 +49,10 @@ from repro.checkpoint import CheckpointConfig
 from repro.config import PlatformConfig
 from repro.core.options import CompilerOptions
 from repro.core.prefetch_pass import insert_prefetches
-from repro.errors import ProcessCrash
+from repro.errors import ConfigError, ExitCode, ProcessCrash
 from repro.faults import FaultPlan, default_plan, load_plan
 from repro.harness.experiment import compare_app, default_data_pages, run_variant
+from repro.ioutil import atomic_write_json, atomic_write_text
 from repro.harness.report import render_table
 from repro.obs import (
     STALL_CAUSES,
@@ -183,7 +190,7 @@ def cmd_apps(args: argparse.Namespace) -> int:
     ]
     print(render_table(["app", "NAS", "full name", "access pattern"], rows,
                        title="NAS Parallel Benchmark models"))
-    return 0
+    return ExitCode.OK
 
 
 def cmd_platform(args: argparse.Namespace) -> int:
@@ -202,7 +209,7 @@ def cmd_platform(args: argparse.Namespace) -> int:
     ]
     print(render_table(["characteristic", "value"], rows,
                        title="Simulated platform"))
-    return 0
+    return ExitCode.OK
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
@@ -219,7 +226,7 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
         print()
         print(format_program(result.program))
-    return 0
+    return ExitCode.OK
 
 
 def _run_one_variant(
@@ -269,7 +276,7 @@ def cmd_run(args: argparse.Namespace) -> int:
           + (f", resumed from {resumed}" if resumed else "") + ")")
     _print_stats(stats, observer.metrics if observer else None)
     _write_observations(args, observer)
-    return 0
+    return ExitCode.OK
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -293,8 +300,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if problems:
         for problem in problems:
             print(f"trace validation: {problem}", file=sys.stderr)
-        return 1
-    return 0
+        return ExitCode.FAILURE
+    return ExitCode.OK
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -334,7 +341,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         title=f"{spec.name} at {result.data_pages} data pages",
     ))
     _write_observations(args, observer)
-    return 0
+    return ExitCode.OK
 
 
 def _attributed_run(
@@ -398,8 +405,8 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if not report.conserved:
         print("conservation invariant violated: attribution does not "
               "account for all stall cycles", file=sys.stderr)
-        return 1
-    return 0
+        return ExitCode.FAILURE
+    return ExitCode.OK
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -409,8 +416,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     att.report(stats)
     lines = att.collapsed_stacks(root=name)
     if args.collapsed:
-        with open(args.collapsed, "w") as fh:
-            fh.write("\n".join(lines) + ("\n" if lines else ""))
+        atomic_write_text(args.collapsed,
+                          "\n".join(lines) + ("\n" if lines else ""))
         print(f"collapsed stacks: {args.collapsed} ({len(lines)} frames) "
               f"-- feed to any flamegraph tool")
     rows = []
@@ -459,7 +466,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(f"obs.disk_idle_fraction gauge: min {gauge.min:.3f}, "
           f"max {gauge.max:.3f} (matches the idle column by construction)")
     _write_observations(args, observer)
-    return 0
+    return ExitCode.OK
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -508,7 +515,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ))
     if baseline is None:
         print("no baseline report; recorded only (use --baseline PATH to gate)")
-        return 0
+        return ExitCode.OK
     regressions, notes = compare_reports(
         report, baseline, args.threshold, wall_threshold=args.wall_threshold
     )
@@ -522,9 +529,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         for regression in regressions:
             print(f"  {regression.describe()}", file=sys.stderr)
-        return 1
+        return ExitCode.FAILURE
     print(f"no benchmark regression vs {baseline_path} ({gates})")
-    return 0
+    return ExitCode.OK
 
 
 def cmd_multiprog(args: argparse.Namespace) -> int:
@@ -535,7 +542,7 @@ def cmd_multiprog(args: argparse.Namespace) -> int:
     names = [n.strip() for n in args.apps.split(",") if n.strip()]
     if not names:
         print("no applications given", file=sys.stderr)
-        return 2
+        return ExitCode.USAGE
     observer = _make_observer(args)
     rows = []
     for prefetching in (False, True):
@@ -581,7 +588,7 @@ def cmd_multiprog(args: argparse.Namespace) -> int:
     if observer is not None:
         print("(trace/metrics cover the prefetching schedule only)")
     _write_observations(args, observer)
-    return 0
+    return ExitCode.OK
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -615,12 +622,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"(trace/metrics cover the final sweep point only: "
               f"{multiples[-1]:g}x, prefetching variant)")
     _write_observations(args, observer)
-    return 0
+    return ExitCode.OK
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Sweep fault intensities and print the degradation table."""
-    from repro.faults.chaos import chaos_sweep
+    from repro.faults.chaos import chaos_report_dict, chaos_sweep
 
     if args.quick:
         # CI smoke mode: a small out-of-core footprint, one intensity.
@@ -664,7 +671,147 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         title=(f"{spec.name} [{args.variant.upper()}] chaos sweep "
                f"at {report.data_pages} data pages"),
     ))
-    return 0
+    if args.out:
+        atomic_write_json(args.out, chaos_report_dict(report))
+        print(f"report: {args.out}")
+    return ExitCode.OK
+
+
+def _render_serve_report(payload: dict, title: str) -> None:
+    """Print the per-job table and summary line of a results payload."""
+    rows = []
+    for job in payload["jobs"]:
+        spec = job["spec"]
+        note = job["failures"][-1] if job["failures"] else ""
+        if len(note) > 48:
+            note = note[:45] + "..."
+        rows.append([
+            spec["job_id"], spec["kind"], spec["app"], spec["priority"],
+            job["state"], job["attempts"], job["retries"],
+            job["preemptions"], f"{job['latency_s']:.2f} s", note,
+        ])
+    print(render_table(
+        ["job", "kind", "app", "prio", "state", "attempts", "retries",
+         "preempt", "latency", "last failure"],
+        rows, title=title,
+    ))
+    s = payload["summary"]
+    print(f"{s['jobs']} jobs: {s['done']} done, "
+          f"{s['quarantined']} quarantined, {s['shed']} shed | "
+          f"retries {s['retries']}, preemptions {s['preemptions']}, "
+          f"worker restarts {s['worker_restarts']} | "
+          f"p99 latency {s['p99_latency_s']:.2f} s, "
+          f"wall {s['wall_s']:.2f} s")
+
+
+def _load_serve_results(path: str) -> dict:
+    import json
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load serve results {path!r}: {exc}") from None
+    if not isinstance(payload, dict) or "jobs" not in payload:
+        raise ConfigError(f"{path}: not a serve results file")
+    return payload
+
+
+def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
+                 ) -> int:
+    """Run a batch on a farm, write the artifacts, print the table.
+
+    ``carried`` rows (already-terminal jobs from a previous results
+    file, used by ``drain``) are prepended to the output unchanged.
+    """
+    import tempfile
+
+    from repro.faults.farm import default_farm_plan, load_farm_plan
+    from repro.serve import FarmConfig, JobState, RetryPolicy, run_farm
+
+    chaos = None
+    if args.farm_chaos:
+        chaos = load_farm_plan(args.farm_chaos)
+    elif args.chaos_kills or args.chaos_stalls:
+        chaos = default_farm_plan(kills=args.chaos_kills,
+                                  stalls=args.chaos_stalls,
+                                  delay_s=args.chaos_delay)
+    config = FarmConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        hb_interval_s=args.hb_interval,
+        hb_timeout_s=args.hb_timeout,
+        retry=RetryPolicy(seed=args.seed),
+        preemption=not args.no_preemption,
+        max_wall_s=args.max_wall,
+    )
+    tmp = None
+    workdir = args.workdir
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        workdir = tmp.name
+    try:
+        report = run_farm(specs, config, workdir, chaos=chaos)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    payload = report.to_dict()
+    if carried:
+        payload["jobs"] = carried + payload["jobs"]
+        summary = payload["summary"]
+        summary["jobs"] = len(payload["jobs"])
+        for state in (JobState.DONE, JobState.QUARANTINED, JobState.SHED):
+            summary[state] = sum(
+                1 for job in payload["jobs"] if job["state"] == state)
+    atomic_write_json(args.out, payload)
+    _render_serve_report(
+        payload,
+        f"farm of {config.workers} workers"
+        + (f", chaos: {len(chaos.faults)} strikes" if chaos else ""),
+    )
+    print(f"results: {args.out}")
+    if args.metrics_out:
+        write_metrics_json(args.metrics_out, report.metrics)
+        print(f"metrics: {args.metrics_out} "
+              f"({len(report.metrics)} instruments)")
+    all_done = all(job["state"] == "done" for job in payload["jobs"])
+    return ExitCode.OK if all_done else ExitCode.JOB_FAILED
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """The supervised simulation job farm (see docs/serving.md)."""
+    from repro.serve import JobSpec, demo_jobs, load_jobs
+
+    try:
+        if args.verb == "submit":
+            if args.demo:
+                specs = demo_jobs(args.demo, seed=args.seed,
+                                  poison=args.poison)
+            elif args.jobs:
+                specs = load_jobs(args.jobs)
+            else:
+                print("serve submit needs --jobs FILE or --demo N",
+                      file=sys.stderr)
+                return ExitCode.USAGE
+            return _serve_batch(args, specs)
+        results = args.results or args.out
+        payload = _load_serve_results(results)
+        if args.verb == "status":
+            _render_serve_report(payload, f"results: {results}")
+            all_done = all(job["state"] == "done" for job in payload["jobs"])
+            return ExitCode.OK if all_done else ExitCode.JOB_FAILED
+        # drain: re-run everything that did not finish, keep what did.
+        carried = [job for job in payload["jobs"] if job["state"] == "done"]
+        specs = [JobSpec.from_dict(job["spec"]) for job in payload["jobs"]
+                 if job["state"] != "done"]
+        if not specs:
+            print(f"nothing to drain: all {len(carried)} jobs in "
+                  f"{results} are done")
+            return ExitCode.OK
+        return _serve_batch(args, specs, carried=carried)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return ExitCode.USAGE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -867,6 +1014,62 @@ def build_parser() -> argparse.ArgumentParser:
     add_fault_args(p)
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: small footprint, one intensity")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="also write the report as JSON (atomic)")
+
+    p = sub.add_parser(
+        "serve",
+        help="supervised simulation job farm (batch in, results out)",
+        description="Run a batch of run/compare/sweep/chaos jobs on a "
+                    "supervised multiprocess worker farm: heartbeats, "
+                    "per-job deadlines, retry with backoff, poison-job "
+                    "quarantine, checkpoint-driven preemption, and "
+                    "priority-based load shedding (see docs/serving.md). "
+                    "Exits 0 when every job is done, 4 when any job "
+                    "ended quarantined or shed.",
+    )
+    p.add_argument("verb", choices=["submit", "status", "drain"],
+                   help="submit a batch, render a results file, or re-run "
+                        "a results file's unfinished jobs")
+    p.add_argument("--jobs", metavar="FILE",
+                   help="job batch JSON (schema in docs/serving.md)")
+    p.add_argument("--demo", type=int, default=0, metavar="N",
+                   help="submit the deterministic N-job demo batch instead")
+    p.add_argument("--poison", type=int, default=0, metavar="K",
+                   help="append K always-failing jobs to the demo batch")
+    p.add_argument("--workers", type=int, default=4,
+                   help="worker processes (default 4)")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission-queue bound (default 64)")
+    p.add_argument("--out", default="serve_results.json", metavar="FILE",
+                   help="results artifact path (default serve_results.json)")
+    p.add_argument("--results", default=None, metavar="FILE",
+                   help="results file to read for status/drain "
+                        "(default: --out)")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the serve.* metrics-registry JSON artifact")
+    p.add_argument("--hb-interval", type=float, default=0.05, metavar="S",
+                   help="worker heartbeat interval (default 0.05 s)")
+    p.add_argument("--hb-timeout", type=float, default=5.0, metavar="S",
+                   help="heartbeat silence treated as a stall (default 5 s)")
+    p.add_argument("--max-wall", type=float, default=None, metavar="S",
+                   help="farm drain deadline: quarantine whatever is still "
+                        "outstanding after S wall seconds (default: none)")
+    p.add_argument("--farm-chaos", metavar="FILE",
+                   help="farm chaos plan JSON (kill/stall schedule)")
+    p.add_argument("--chaos-kills", type=int, default=0, metavar="N",
+                   help="SIGKILL N workers mid-job (built-in schedule)")
+    p.add_argument("--chaos-stalls", type=int, default=0, metavar="N",
+                   help="SIGSTOP N workers mid-job (built-in schedule)")
+    p.add_argument("--chaos-delay", type=float, default=0.1, metavar="S",
+                   help="delay after job start before a built-in strike")
+    p.add_argument("--no-preemption", action="store_true",
+                   help="never kill a running job for a higher-priority one")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="keep per-job checkpoints and attempt results "
+                        "under DIR (default: a temp dir, deleted)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="demo-batch / retry-jitter seed (default 1)")
     return parser
 
 
@@ -883,6 +1086,7 @@ COMMANDS = {
     "profile": cmd_profile,
     "bench": cmd_bench,
     "chaos": cmd_chaos,
+    "serve": cmd_serve,
 }
 
 
@@ -902,7 +1106,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print("no checkpoint was written before the crash; "
                   "rerun with --checkpoint-every to bound lost work",
                   file=sys.stderr)
-        return 3
+        return ExitCode.CRASH
 
 
 if __name__ == "__main__":  # pragma: no cover

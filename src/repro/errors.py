@@ -8,6 +8,33 @@ with a single ``except`` clause while letting genuine bugs (``TypeError``,
 
 from __future__ import annotations
 
+import enum
+
+
+class ExitCode(enum.IntEnum):
+    """Process exit codes the ``repro`` CLI is allowed to return.
+
+    Every command returns one of these (``main()`` converts the raised
+    :class:`ProcessCrash` to :attr:`CRASH`); harnesses and CI scripts
+    branch on the numbers, so the meanings are frozen:
+
+    * ``OK`` (0) -- the command succeeded.
+    * ``FAILURE`` (1) -- the command ran but its gate failed: a trace
+      failed validation, a benchmark regressed, a stall-attribution
+      conservation check broke.
+    * ``USAGE`` (2) -- bad invocation (argparse also exits 2 on its own).
+    * ``CRASH`` (3) -- a planned ``process_crash`` fault killed the
+      simulated process; stderr carries the ``--resume-from`` hint.
+    * ``JOB_FAILED`` (4) -- ``repro serve`` drove every job to a
+      terminal state but at least one ended quarantined or shed.
+    """
+
+    OK = 0
+    FAILURE = 1
+    USAGE = 2
+    CRASH = 3
+    JOB_FAILED = 4
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""

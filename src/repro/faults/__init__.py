@@ -7,6 +7,12 @@ run-time layers), and :mod:`repro.faults.chaos` (the intensity-sweep
 harness behind ``python -m repro chaos``).  See docs/robustness.md.
 """
 
+from repro.faults.farm import (
+    FarmChaosPlan,
+    WorkerFault,
+    default_farm_plan,
+    load_farm_plan,
+)
 from repro.faults.inject import (
     DiskFaultState,
     FaultInjector,
@@ -28,11 +34,13 @@ from repro.faults.plan import (
 #: the experiment harness, which imports the machine, which imports
 #: ``repro.faults.inject`` -- an eager import here would close that loop
 #: while the machine module is still half-initialized.
-_CHAOS_EXPORTS = ("ChaosReport", "ChaosRow", "chaos_sweep", "dropped_hint_pages")
+_CHAOS_EXPORTS = ("ChaosReport", "ChaosRow", "chaos_report_dict",
+                  "chaos_sweep", "dropped_hint_pages")
 
 __all__ = [
     "DiskFaultSpec",
     "DiskFaultState",
+    "FarmChaosPlan",
     "FaultInjector",
     "FaultPlan",
     "HintFaultState",
@@ -40,7 +48,10 @@ __all__ = [
     "PressureStorm",
     "SlowWindow",
     "StorageFaults",
+    "WorkerFault",
+    "default_farm_plan",
     "default_plan",
+    "load_farm_plan",
     "load_plan",
     "save_plan",
     *_CHAOS_EXPORTS,

@@ -98,6 +98,31 @@ class ChaosReport:
         return row.elapsed_us / self.clean.elapsed_us if self.clean.elapsed_us else 1.0
 
 
+def chaos_report_dict(report: ChaosReport) -> dict:
+    """JSON-ready view of a report (``chaos --out``, farm chaos jobs)."""
+    return {
+        "kind": "chaos",
+        "app": report.app,
+        "variant": report.variant,
+        "data_pages": report.data_pages,
+        "clean_elapsed_us": report.clean.elapsed_us,
+        "rows": [
+            {
+                "intensity": row.intensity,
+                "elapsed_us": row.elapsed_us,
+                "slowdown": report.slowdown(row),
+                "drop_rate": row.drop_rate,
+                "retries": row.retries,
+                "degraded_requests": row.degraded_requests,
+                "fallback_episodes": row.fallback_episodes,
+                "crashes": row.crashes,
+                "resumes": row.resumes,
+            }
+            for row in report.rows
+        ],
+    }
+
+
 def chaos_sweep(
     spec: AppSpec,
     platform: PlatformConfig,

@@ -1,0 +1,139 @@
+"""Farm-level chaos: killing and stalling the workers themselves.
+
+The fault plans in :mod:`repro.faults.plan` degrade the *simulated*
+machine; this module degrades the **real** processes serving the farm,
+the service-level analogue of the paper's misbehaving disks.  A
+:class:`FarmChaosPlan` schedules two operations against the worker
+pool:
+
+* ``kill`` -- SIGKILL the worker, the farm's equivalent of a crashed
+  disk: no warning, no cleanup, any half-written artifact is torn
+  (which is why every worker artifact goes through the atomic writer);
+* ``stall`` -- SIGSTOP the worker, the fail-slow/hung regime: the
+  process is alive but stops heartbeating, and only the supervisor's
+  missed-heartbeat detection (followed by its own SIGKILL) recovers it.
+
+Events trigger on the farm's global job-start counter (the ``n``-th
+dispatched attempt), ``delay_s`` wall seconds after that job starts --
+a schedule in *work* rather than wall time, so the same plan hits
+mid-job on fast and slow hosts alike.  Either way the injected death is
+invisible in the results: the killed job resumes from its newest
+checkpoint on another worker and finishes bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ConfigError
+
+#: The farm-chaos JSON schema version this build reads and writes.
+FARM_PLAN_VERSION = 1
+
+#: Operations a farm fault may apply to a worker process.
+FARM_FAULT_OPS: tuple[str, ...] = ("kill", "stall")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One scheduled strike against whichever worker runs a job.
+
+    ``on_start`` counts dispatched attempts farm-wide, starting at 1:
+    ``WorkerFault(on_start=3, delay_s=0.2)`` SIGKILLs the worker running
+    the third-dispatched attempt 0.2 s after it starts.
+    """
+
+    on_start: int
+    delay_s: float = 0.1
+    op: str = "kill"
+
+    def __post_init__(self) -> None:
+        if self.on_start < 1:
+            raise ConfigError(f"on_start must be >= 1, got {self.on_start}")
+        if self.delay_s < 0:
+            raise ConfigError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.op not in FARM_FAULT_OPS:
+            raise ConfigError(
+                f"farm fault op must be one of {FARM_FAULT_OPS}, got {self.op!r}"
+            )
+
+
+@dataclass(frozen=True)
+class FarmChaosPlan:
+    """The complete kill/stall schedule for one farm run."""
+
+    faults: tuple[WorkerFault, ...] = ()
+    version: int = FARM_PLAN_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != FARM_PLAN_VERSION:
+            raise ConfigError(
+                f"farm chaos plan version {self.version!r} is not supported "
+                f"(this build reads version {FARM_PLAN_VERSION})"
+            )
+        object.__setattr__(self, "faults", tuple(self.faults))
+        starts = [f.on_start for f in self.faults]
+        if len(starts) != len(set(starts)):
+            raise ConfigError("farm chaos plan schedules one job start twice")
+
+    def for_start(self, start_index: int) -> WorkerFault | None:
+        """The fault (if any) armed by the ``start_index``-th dispatch."""
+        for fault in self.faults:
+            if fault.on_start == start_index:
+                return fault
+        return None
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FarmChaosPlan":
+        if not isinstance(payload, dict):
+            raise ConfigError("farm chaos plan must be a JSON object")
+        data = dict(payload)
+        try:
+            faults = tuple(WorkerFault(**f) for f in data.pop("faults", ()))
+            return cls(faults=faults, **data)
+        except TypeError as exc:
+            raise ConfigError(f"malformed farm chaos plan: {exc}") from None
+
+
+def load_farm_plan(path: str) -> FarmChaosPlan:
+    """Load a :class:`FarmChaosPlan` from JSON (``--farm-chaos``)."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load farm chaos plan {path!r}: {exc}") from None
+    return FarmChaosPlan.from_dict(payload)
+
+
+def default_farm_plan(kills: int = 1, stalls: int = 0,
+                      first_start: int = 2, stride: int = 3,
+                      delay_s: float = 0.1) -> FarmChaosPlan:
+    """An evenly spread kill/stall schedule (``--chaos-kills/--chaos-stalls``).
+
+    Strikes land on every ``stride``-th dispatched attempt beginning at
+    ``first_start``, kills first, then stalls, so a 20-job batch with
+    ``kills=2, stalls=1`` loses workers at the 2nd, 5th, and 8th starts.
+    """
+    if kills < 0 or stalls < 0:
+        raise ConfigError("kills and stalls must be >= 0")
+    if stride < 1:
+        raise ConfigError(f"stride must be >= 1, got {stride}")
+    faults = []
+    start = first_start
+    for _ in range(kills):
+        faults.append(WorkerFault(on_start=start, delay_s=delay_s, op="kill"))
+        start += stride
+    for _ in range(stalls):
+        faults.append(WorkerFault(on_start=start, delay_s=delay_s, op="stall"))
+        start += stride
+    return FarmChaosPlan(faults=tuple(faults))

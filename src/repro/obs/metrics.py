@@ -290,3 +290,27 @@ CKPT_METRIC_NAMES: tuple[str, ...] = (
     "ckpt.payload_bytes",
     "ckpt.last_cycle_us",
 )
+
+#: Operational metrics of the simulation job farm (``repro serve``; one
+#: registry per :class:`repro.serve.controller.Farm`, all instruments
+#: registered up front so artifacts always carry the full set).
+#: Documented in the "Serve metric reference" table of docs/serving.md,
+#: which ``scripts/check_docs.py`` cross-checks against this list.
+SERVE_METRIC_NAMES: tuple[str, ...] = (
+    "serve.jobs_submitted",
+    "serve.jobs_done",
+    "serve.jobs_failed_attempts",
+    "serve.jobs_quarantined",
+    "serve.jobs_shed",
+    "serve.retries",
+    "serve.resumes",
+    "serve.preemptions",
+    "serve.worker_kills",
+    "serve.worker_stalls",
+    "serve.worker_restarts",
+    "serve.heartbeat_timeouts",
+    "serve.deadline_timeouts",
+    "serve.queue_depth",
+    "serve.workers_busy",
+    "serve.job_latency_us",
+)

@@ -1,0 +1,30 @@
+"""Supervised simulation job farm (``repro serve``; docs/serving.md)."""
+
+from repro.serve.controller import Farm, FarmConfig, FarmReport, run_farm
+from repro.serve.jobspec import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    demo_jobs,
+    load_jobs,
+    save_jobs,
+)
+from repro.serve.queue import AdmissionQueue
+from repro.serve.retry import RetryPolicy
+from repro.serve.supervisor import WorkerPool
+
+__all__ = [
+    "AdmissionQueue",
+    "Farm",
+    "FarmConfig",
+    "FarmReport",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "RetryPolicy",
+    "WorkerPool",
+    "demo_jobs",
+    "load_jobs",
+    "run_farm",
+    "save_jobs",
+]

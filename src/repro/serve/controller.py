@@ -1,0 +1,424 @@
+"""The asyncio farm controller: admission, dispatch, and failure policy.
+
+One :class:`Farm` owns the whole supervised-job-farm story:
+
+* **admission** (:meth:`Farm.submit`): bounded queue, priority-based
+  eviction, explicit ``shed`` results under overload;
+* **dispatch**: strict priority order, FIFO within a band, retry
+  backoff honored, and **checkpoint-driven preemption** -- when a
+  higher-priority job is ready and every worker is busy, the
+  lowest-priority running job's worker is killed and the job requeued
+  to resume from its newest checkpoint on whichever worker frees up;
+* **failure policy**: every involuntary worker death (chaos SIGKILL,
+  stalled heartbeats, blown per-job deadline, real crash) costs the job
+  one attempt and schedules a retry with exponential backoff + jitter;
+  after ``max_attempts`` failures the job is **quarantined** (poison);
+* **degradation accounting**: the ``serve.*`` metrics registry
+  (documented in docs/serving.md, linted by ``scripts/check_docs.py``).
+
+The controller runs as three cooperating asyncio tasks -- collector,
+supervisor, dispatcher -- over a :class:`~repro.serve.supervisor.WorkerPool`
+of real processes.  All controller state is mutated only from the event
+loop thread, so the tasks need no locks; all worker state arrives as
+atomically written files, so worker death at any instant cannot corrupt
+the controller's view.  Termination is guaranteed: every job's attempts
+are bounded, every attempt's wall time is bounded by its deadline, and
+an optional farm-wide ``max_wall_s`` quarantines whatever is left.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.errors import ConfigError
+from repro.faults.farm import FarmChaosPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.jobspec import JobRecord, JobSpec, JobState
+from repro.serve.queue import AdmissionQueue
+from repro.serve.retry import RetryPolicy
+from repro.serve.supervisor import WorkerHandle, WorkerPool
+from repro.serve.worker import DEFAULT_CHECKPOINT_EVERY_US, result_path
+
+#: Bucket bounds for the job-latency histogram (microseconds of wall
+#: time from admission to terminal state: 10 ms ... 5 min).
+JOB_LATENCY_BOUNDS_US: tuple[float, ...] = (
+    1e4, 1e5, 1e6, 5e6, 1e7, 3e7, 6e7, 3e8,
+)
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Everything ``repro serve submit`` tunes."""
+
+    workers: int = 4
+    queue_depth: int = 64
+    hb_interval_s: float = 0.05
+    hb_timeout_s: float = 5.0
+    poll_s: float = 0.02
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US
+    preemption: bool = True
+    #: Farm-wide drain deadline (None = unbounded).  On expiry every
+    #: outstanding job is quarantined -- the "never hung" backstop.
+    max_wall_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigError(f"need >= 1 worker, got {self.workers}")
+        if self.queue_depth < 1:
+            raise ConfigError(f"queue depth must be >= 1, got {self.queue_depth}")
+        if self.poll_s <= 0:
+            raise ConfigError(f"poll_s must be > 0, got {self.poll_s}")
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ConfigError(f"max_wall_s must be > 0, got {self.max_wall_s}")
+
+
+@dataclass
+class FarmReport:
+    """What one farm run did: every record terminal, plus the metrics."""
+
+    records: list[JobRecord]
+    metrics: MetricsRegistry
+    wall_s: float
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in
+                  (JobState.DONE, JobState.QUARANTINED, JobState.SHED)}
+        for record in self.records:
+            counts[record.state] = counts.get(record.state, 0) + 1
+        return counts
+
+    @property
+    def all_terminal(self) -> bool:
+        return all(record.terminal for record in self.records)
+
+    @property
+    def all_done(self) -> bool:
+        return all(record.state == JobState.DONE for record in self.records)
+
+    def p99_latency_s(self) -> float:
+        hist = self.metrics.get("serve.job_latency_us")
+        return hist.quantile(0.99) / 1e6
+
+    def to_dict(self) -> dict[str, Any]:
+        counts = self.counts()
+        return {
+            "version": 1,
+            "summary": {
+                "jobs": len(self.records),
+                "done": counts[JobState.DONE],
+                "quarantined": counts[JobState.QUARANTINED],
+                "shed": counts[JobState.SHED],
+                "retries": int(self.metrics.value("serve.retries")),
+                "preemptions": int(self.metrics.value("serve.preemptions")),
+                "worker_restarts": int(
+                    self.metrics.value("serve.worker_restarts")),
+                "p99_latency_s": round(self.p99_latency_s(), 4),
+                "wall_s": round(self.wall_s, 4),
+            },
+            "jobs": [record.to_dict() for record in self.records],
+            "metrics": self.metrics.as_dict(),
+        }
+
+
+class Farm:
+    """One supervised simulation job farm (see module docstring)."""
+
+    def __init__(self, config: FarmConfig, workdir: str | Path,
+                 chaos: FarmChaosPlan | None = None) -> None:
+        self.config = config
+        self.workdir = Path(workdir)
+        self.results_dir = self.workdir / "results"
+        self.ckpt_root = self.workdir / "ckpt"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.ckpt_root.mkdir(parents=True, exist_ok=True)
+        self.chaos = chaos
+        self.queue = AdmissionQueue(config.queue_depth)
+        self.pool = WorkerPool(
+            config.workers, self.results_dir, self.ckpt_root,
+            hb_interval_s=config.hb_interval_s,
+            hb_timeout_s=config.hb_timeout_s,
+            checkpoint_every_us=config.checkpoint_every_us,
+        )
+        self.records: list[JobRecord] = []
+        self._seq = 0
+        self._starts = 0
+        self._drained = asyncio.Event()
+        self.metrics = MetricsRegistry()
+        # Register every serve.* instrument up front so the artifact
+        # carries the full documented set even when a counter stays 0.
+        from repro.obs.metrics import SERVE_METRIC_NAMES
+
+        for name in SERVE_METRIC_NAMES:
+            if name == "serve.job_latency_us":
+                self.metrics.histogram(name, bounds=JOB_LATENCY_BOUNDS_US)
+            elif name in ("serve.queue_depth", "serve.workers_busy"):
+                self.metrics.gauge(name).set(0.0)
+            else:
+                self.metrics.counter(name)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def submit(self, specs: Sequence[JobSpec]) -> list[JobRecord]:
+        """Admit a batch; sheds are resolved immediately and explicitly."""
+        now = time.monotonic()
+        admitted: list[JobRecord] = []
+        for spec in specs:
+            self._seq += 1
+            if not spec.job_id:
+                spec = spec.with_id(f"job-{self._seq:04d}")
+            record = JobRecord(spec=spec, submitted_at=now, seq=self._seq)
+            self.records.append(record)
+            self.metrics.counter("serve.jobs_submitted").inc()
+            if self.queue.offer(record):
+                admitted.append(record)
+            for shed in self.queue.shed:
+                self._finish(shed, JobState.SHED,
+                             "shed by admission control (queue full)")
+            self.queue.shed.clear()
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Terminal transitions
+    # ------------------------------------------------------------------
+
+    def _finish(self, record: JobRecord, state: str,
+                reason: str | None = None) -> None:
+        record.state = state
+        record.finished_at = time.monotonic()
+        if reason is not None:
+            record.failures.append(reason)
+        if state == JobState.DONE:
+            self.metrics.counter("serve.jobs_done").inc()
+        elif state == JobState.QUARANTINED:
+            self.metrics.counter("serve.jobs_quarantined").inc()
+        else:
+            self.metrics.counter("serve.jobs_shed").inc()
+        self.metrics.histogram(
+            "serve.job_latency_us", bounds=JOB_LATENCY_BOUNDS_US
+        ).observe(max(0.0, record.latency_s) * 1e6)
+        if all(r.terminal for r in self.records):
+            self._drained.set()
+
+    def _register_failure(self, record: JobRecord, reason: str,
+                          resume: bool) -> None:
+        """One failed attempt: quarantine or schedule the backoff retry."""
+        now = time.monotonic()
+        record.failures.append(reason)
+        record.worker = None
+        self.metrics.counter("serve.jobs_failed_attempts").inc()
+        if record.attempts >= record.spec.max_attempts:
+            self._finish(
+                record, JobState.QUARANTINED,
+                f"quarantined after {record.attempts} failed attempts",
+            )
+            return
+        record.state = JobState.PENDING
+        record.resume = resume
+        delay = self.config.retry.delay_s(record.spec.job_id, record.attempts)
+        record.eligible_at = now + delay
+        record.retries += 1
+        self.metrics.counter("serve.retries").inc()
+        self.queue.requeue(record)
+
+    # ------------------------------------------------------------------
+    # Result intake
+    # ------------------------------------------------------------------
+
+    def _consume_result(self, handle: WorkerHandle) -> bool:
+        """Fold the worker's current job's result file in, if written."""
+        record = handle.job
+        if record is None:
+            return False
+        path = result_path(self.results_dir, record.spec.job_id,
+                           record.attempts)
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return False
+        except (OSError, json.JSONDecodeError):
+            # Cannot happen with the atomic writer; treat a damaged file
+            # as a failed attempt rather than crashing the farm.
+            payload = {"state": "failed", "error": "unreadable result file"}
+        handle.job = None
+        handle.strikes.clear()
+        state = payload.get("state")
+        if state == "done":
+            record.result = payload.get("result")
+            record.worker = payload.get("worker")
+            self._finish(record, JobState.DONE)
+        elif state == "crashed":
+            # Planned in-simulation crash: retry resumes past it via the
+            # job's checkpoint directory and crash ledger.
+            self._register_failure(
+                record, payload.get("error", "process crash"), resume=True)
+        else:
+            self._register_failure(
+                record, payload.get("error", "job failed"), resume=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # The three loops
+    # ------------------------------------------------------------------
+
+    async def _collect_loop(self) -> None:
+        while True:
+            for handle in self.pool.busy_workers():
+                self._consume_result(handle)
+            self._update_gauges()
+            await asyncio.sleep(self.config.poll_s)
+
+    async def _supervise_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            # Fire due chaos strikes (armed at dispatch time).
+            for handle in self.pool.busy_workers():
+                due = [s for s in handle.strikes if s[0] <= now]
+                if not due:
+                    continue
+                handle.strikes = [s for s in handle.strikes if s[0] > now]
+                for _, op in due:
+                    self.pool.strike(handle, op)
+                    self.metrics.counter(
+                        "serve.worker_kills" if op == "kill"
+                        else "serve.worker_stalls").inc()
+            # Convert every detected worker failure into respawn + retry.
+            for handle, kind, detail in self.pool.failed_workers(now):
+                if kind == "stalled":
+                    self.metrics.counter("serve.heartbeat_timeouts").inc()
+                elif kind == "deadline":
+                    self.metrics.counter("serve.deadline_timeouts").inc()
+                # The worker may have finished the job and died after
+                # writing its result; believe the file over the corpse.
+                self._consume_result(handle)
+                job = self.pool.reap(handle)
+                self.metrics.counter("serve.worker_restarts").inc()
+                if job is not None:
+                    self._register_failure(
+                        job, f"worker {handle.worker_id} {kind}: {detail}",
+                        resume=True)
+            await asyncio.sleep(self.config.poll_s)
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            now = time.monotonic()
+            if self.config.preemption and not self.pool.idle_workers():
+                self._maybe_preempt(now)
+            for handle in self.pool.idle_workers():
+                record = self.queue.pop_ready(now)
+                if record is None:
+                    break
+                self._dispatch(handle, record, now)
+            self._update_gauges()
+            await asyncio.sleep(self.config.poll_s)
+
+    def _maybe_preempt(self, now: float) -> None:
+        """Kill the lowest-priority running job for a higher-priority one."""
+        top = self.queue.peek_ready_priority(now)
+        if top is None:
+            return
+        busy = [h for h in self.pool.busy_workers() if h.job is not None]
+        if not busy:
+            return
+        victim = min(busy, key=lambda h: (h.job.spec.priority, -h.job.seq))
+        if victim.job.spec.priority >= top:
+            return
+        if self._consume_result(victim):
+            return  # finished in the nick of time; dispatcher reuses it
+        job = self.pool.reap(victim)
+        self.metrics.counter("serve.worker_restarts").inc()
+        if job is None:
+            return
+        job.state = JobState.PENDING
+        job.resume = True
+        job.preemptions += 1
+        job.worker = None
+        self.metrics.counter("serve.preemptions").inc()
+        self.queue.requeue(job)
+
+    def _dispatch(self, handle: WorkerHandle, record: JobRecord,
+                  now: float) -> None:
+        record.attempts += 1
+        record.state = JobState.RUNNING
+        record.worker = handle.worker_id
+        if record.started_at == 0.0:
+            record.started_at = now
+        if record.resume:
+            self.metrics.counter("serve.resumes").inc()
+        handle.job = record
+        handle.dispatched_at = now
+        self._starts += 1
+        if self.chaos is not None:
+            fault = self.chaos.for_start(self._starts)
+            if fault is not None:
+                handle.strikes.append((now + fault.delay_s, fault.op))
+        handle.inbox.put({
+            "spec": record.spec.to_dict(),
+            "attempt": record.attempts,
+            "resume": record.resume,
+        })
+
+    def _update_gauges(self) -> None:
+        self.metrics.gauge("serve.queue_depth").set(float(len(self.queue)))
+        self.metrics.gauge("serve.workers_busy").set(
+            float(len(self.pool.busy_workers())))
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    async def run(self) -> FarmReport:
+        """Drive every admitted job to a terminal state."""
+        started = time.monotonic()
+        if all(r.terminal for r in self.records):
+            self._drained.set()
+        self.pool.start()
+        tasks = [
+            asyncio.create_task(self._collect_loop(), name="collector"),
+            asyncio.create_task(self._supervise_loop(), name="supervisor"),
+            asyncio.create_task(self._dispatch_loop(), name="dispatcher"),
+        ]
+        try:
+            if self.config.max_wall_s is not None:
+                try:
+                    await asyncio.wait_for(self._drained.wait(),
+                                           timeout=self.config.max_wall_s)
+                except asyncio.TimeoutError:
+                    self._quarantine_outstanding(
+                        f"farm drain deadline ({self.config.max_wall_s:g}s) "
+                        f"expired")
+            else:
+                await self._drained.wait()
+        finally:
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            self.pool.shutdown()
+        return FarmReport(records=self.records, metrics=self.metrics,
+                          wall_s=time.monotonic() - started)
+
+    def _quarantine_outstanding(self, reason: str) -> None:
+        for handle in self.pool.busy_workers():
+            handle.job = None
+        for record in self.queue.drain():
+            pass  # drop queue references; records list below is canonical
+        for record in self.records:
+            if not record.terminal:
+                self._finish(record, JobState.QUARANTINED, reason)
+
+
+def run_farm(specs: Sequence[JobSpec], config: FarmConfig,
+             workdir: str | Path,
+             chaos: FarmChaosPlan | None = None) -> FarmReport:
+    """Synchronous front door: submit a batch, run it to terminal states."""
+    farm = Farm(config, workdir, chaos=chaos)
+    farm.submit(specs)
+    return asyncio.run(farm.run())

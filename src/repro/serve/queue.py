@@ -1,0 +1,106 @@
+"""Bounded admission queue with priority-based load shedding.
+
+The farm's backlog is **bounded**: the queue holds at most ``depth``
+pending jobs, and overload is resolved at admission time rather than by
+letting the backlog grow.  When a job arrives at a full queue:
+
+* if some queued job has a strictly lower priority, the lowest-priority
+  (and, within that band, youngest) queued job is **evicted** and
+  returned as shed, making room for the newcomer;
+* otherwise the newcomer itself is **shed**.
+
+Either way the displaced job ends in the explicit ``shed`` terminal
+state -- callers always get an answer, never silence.  Dispatch order
+is strict priority, FIFO within a band, and a job serving its retry
+backoff (``eligible_at`` in the future) is passed over until due.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.serve.jobspec import JobRecord
+
+
+class AdmissionQueue:
+    """Pending :class:`~repro.serve.jobspec.JobRecord` storage."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ConfigError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._pending: list[JobRecord] = []
+        #: Jobs evicted or rejected by admission control (drained by the
+        #: controller, which marks them terminal and counts the metric).
+        self.shed: list[JobRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __iter__(self):
+        return iter(self._pending)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+
+    def offer(self, record: JobRecord) -> bool:
+        """Admit ``record`` if the queue (or a lower-priority victim's
+        slot) has room; returns False when ``record`` itself was shed.
+        """
+        if len(self._pending) < self.depth:
+            self._pending.append(record)
+            return True
+        victim = min(
+            self._pending,
+            key=lambda r: (r.spec.priority, -r.seq),
+        )
+        if victim.spec.priority < record.spec.priority:
+            self._pending.remove(victim)
+            self.shed.append(victim)
+            self._pending.append(record)
+            return True
+        self.shed.append(record)
+        return False
+
+    def requeue(self, record: JobRecord) -> None:
+        """Put a retried/preempted job back, exempt from admission.
+
+        A job the farm already accepted keeps its admission: retries and
+        preemptions never convert into sheds (the queue may transiently
+        exceed ``depth`` by the number of in-flight jobs, which is
+        bounded by the worker count).
+        """
+        self._pending.append(record)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def pop_ready(self, now: float) -> JobRecord | None:
+        """The highest-priority eligible job (FIFO within a band)."""
+        best: JobRecord | None = None
+        for record in self._pending:
+            if record.eligible_at > now:
+                continue
+            if best is None or (record.spec.priority, -record.seq) > (
+                best.spec.priority, -best.seq
+            ):
+                best = record
+        if best is not None:
+            self._pending.remove(best)
+        return best
+
+    def peek_ready_priority(self, now: float) -> int | None:
+        """Priority of the job ``pop_ready`` would return, or None."""
+        best: int | None = None
+        for record in self._pending:
+            if record.eligible_at > now:
+                continue
+            if best is None or record.spec.priority > best:
+                best = record.spec.priority
+        return best
+
+    def drain(self) -> list[JobRecord]:
+        """Remove and return everything still pending (farm shutdown)."""
+        pending, self._pending = self._pending, []
+        return pending

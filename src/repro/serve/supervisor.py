@@ -1,0 +1,208 @@
+"""The worker pool and its supervisor: spawn, watch, kill, respawn.
+
+The supervisor's contract is that a worker's death -- however it dies:
+SIGKILL chaos, a stall that stops its heartbeats, a blown per-job
+deadline, or a genuine crash -- is always converted into the same two
+outcomes: a **fresh worker** in the dead one's slot and a **reschedule
+decision** for whatever job it was running.  The controller only ever
+sees "worker N died while running job J (reason)".
+
+Design notes that keep a kill at *any* instant from wedging the farm:
+
+* Heartbeats live in a lock-free shared double array (one slot per
+  worker).  Aligned 8-byte stores are atomic on every supported
+  platform, and a misread would only delay detection by one tick --
+  crucially there is **no lock a dying worker could orphan**.
+* Each worker gets a **fresh inbox queue on respawn**.  A process
+  SIGKILLed while blocked in ``Queue.get`` can leave that queue's
+  internals unusable; abandoning the queue with the corpse sidesteps
+  the entire class of corruption.
+* Workers never share a writable structure with the controller at all:
+  results travel as atomically written files (see
+  :mod:`repro.serve.worker`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.serve.jobspec import JobRecord
+from repro.serve.worker import worker_main
+
+
+def _mp_context():
+    """Fork where available (fast, SIGSTOP-friendly), spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+@dataclass
+class WorkerHandle:
+    """One slot of the pool: the live process plus dispatch bookkeeping."""
+
+    worker_id: int
+    process: multiprocessing.Process | None = None
+    inbox: object = None
+    #: The job currently dispatched to this worker (None = idle).
+    job: JobRecord | None = None
+    #: Monotonic time the current job was dispatched.
+    dispatched_at: float = 0.0
+    #: Lifetime restarts of this slot.
+    restarts: int = 0
+    #: Chaos strikes armed against the current job: (fire_at, op).
+    strikes: list[tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerPool:
+    """``size`` supervised worker processes plus their heartbeat array."""
+
+    def __init__(self, size: int, results_dir: str, ckpt_root: str,
+                 hb_interval_s: float = 0.05, hb_timeout_s: float = 5.0,
+                 checkpoint_every_us: float | None = None) -> None:
+        if size < 1:
+            raise ConfigError(f"worker pool needs >= 1 worker, got {size}")
+        if hb_timeout_s <= hb_interval_s:
+            raise ConfigError(
+                f"heartbeat timeout ({hb_timeout_s}s) must exceed the "
+                f"interval ({hb_interval_s}s)"
+            )
+        from repro.serve.worker import DEFAULT_CHECKPOINT_EVERY_US
+
+        self.ctx = _mp_context()
+        self.results_dir = str(results_dir)
+        self.ckpt_root = str(ckpt_root)
+        self.hb_interval_s = hb_interval_s
+        self.hb_timeout_s = hb_timeout_s
+        self.checkpoint_every_us = (checkpoint_every_us
+                                    or DEFAULT_CHECKPOINT_EVERY_US)
+        # lock=False deliberately: no cross-process lock to orphan.
+        self.beats = self.ctx.Array("d", size, lock=False)
+        self.workers = [WorkerHandle(worker_id=i) for i in range(size)]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def spawn(self, handle: WorkerHandle) -> None:
+        """(Re)start one slot with a fresh process and a fresh inbox."""
+        handle.inbox = self.ctx.Queue()
+        self.beats[handle.worker_id] = time.monotonic()
+        handle.process = self.ctx.Process(
+            target=worker_main,
+            args=(handle.worker_id, handle.inbox, self.beats,
+                  self.results_dir, self.ckpt_root, self.hb_interval_s,
+                  self.checkpoint_every_us),
+            name=f"repro-worker-{handle.worker_id}",
+            daemon=True,
+        )
+        handle.process.start()
+
+    def start(self) -> None:
+        for handle in self.workers:
+            self.spawn(handle)
+
+    def idle_workers(self) -> list[WorkerHandle]:
+        return [h for h in self.workers if h.idle and h.alive]
+
+    def busy_workers(self) -> list[WorkerHandle]:
+        return [h for h in self.workers if h.job is not None]
+
+    # ------------------------------------------------------------------
+    # Violence
+    # ------------------------------------------------------------------
+
+    def strike(self, handle: WorkerHandle, op: str) -> None:
+        """Apply one chaos operation to a live worker."""
+        if not handle.alive:
+            return
+        sig = signal.SIGKILL if op == "kill" else signal.SIGSTOP
+        try:
+            os.kill(handle.process.pid, sig)
+        except (OSError, AttributeError):
+            pass
+
+    def reap(self, handle: WorkerHandle) -> JobRecord | None:
+        """Kill + respawn one slot; returns the job it was running."""
+        if handle.process is not None:
+            try:
+                os.kill(handle.process.pid, signal.SIGKILL)
+            except (OSError, AttributeError):
+                pass
+            handle.process.join(timeout=5.0)
+        job, handle.job = handle.job, None
+        handle.strikes.clear()
+        handle.restarts += 1
+        self.spawn(handle)
+        return job
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+
+    def heartbeat_age(self, handle: WorkerHandle, now: float) -> float:
+        return now - self.beats[handle.worker_id]
+
+    def failed_workers(
+        self, now: float
+    ) -> list[tuple[WorkerHandle, str, str]]:
+        """Slots that need reaping, as ``(handle, kind, detail)``.
+
+        Three detectors, checked in order of certainty: the process is
+        gone (``died``: chaos SIGKILL, crash), its heartbeats went quiet
+        (``stalled``: SIGSTOP, wedged interpreter), or its job blew the
+        per-job deadline (``deadline``: hung/overlong work -- heartbeats
+        alone cannot catch this because a busy-looping worker still
+        heartbeats).
+        """
+        failed = []
+        for handle in self.workers:
+            if not handle.alive:
+                failed.append((handle, "died", "worker process died"))
+            elif self.heartbeat_age(handle, now) > self.hb_timeout_s:
+                failed.append((handle, "stalled", "heartbeats stopped"))
+            elif (handle.job is not None
+                  and now - handle.dispatched_at > handle.job.spec.timeout_s):
+                failed.append((
+                    handle, "deadline",
+                    f"job deadline ({handle.job.spec.timeout_s:g}s) exceeded",
+                ))
+        return failed
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Drain sentinels, then escalate to SIGKILL for stragglers."""
+        for handle in self.workers:
+            if handle.alive:
+                try:
+                    handle.inbox.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + 2.0
+        for handle in self.workers:
+            if handle.process is None:
+                continue
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                try:
+                    os.kill(handle.process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+                handle.process.join(timeout=5.0)

@@ -1,0 +1,216 @@
+"""The farm worker: one process, one job at a time, always heartbeating.
+
+A worker is deliberately dumb.  It pulls a dispatch message off its
+inbox queue, executes the job, writes the outcome as an **atomic** JSON
+file into the farm's results directory, and goes back to waiting.  All
+policy -- retries, backoff, quarantine, preemption, load shedding --
+lives in the controller; all the worker owes the farm is:
+
+* **heartbeats**: a daemon thread stamps ``time.monotonic()`` into the
+  worker's slot of a shared array every ``hb_interval_s``.  A SIGSTOPped
+  or dead worker stops stamping, which is exactly the signal the
+  supervisor's missed-heartbeat detector keys on.
+* **torn-write freedom**: results go through
+  :func:`repro.ioutil.atomic_write_json`, so a SIGKILL mid-report
+  leaves either the complete file or nothing -- the controller never
+  parses garbage.
+* **checkpoint discipline**: ``run`` and ``compare`` jobs checkpoint
+  into the job's own directory at a fixed simulated cadence, so a job
+  killed here resumes on *another* worker from the newest good snapshot
+  and finishes bit-identical to an uninterrupted run (the PR-5
+  machinery; ``sweep``/``chaos`` jobs are cheap and deterministic and
+  simply restart from scratch).
+
+Communication is one-directional queues in, files out: the worker never
+writes to a structure the controller also locks, so killing a worker at
+any instant cannot wedge the farm.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ProcessCrash
+from repro.ioutil import atomic_write_json
+
+#: Simulated microseconds between checkpoints inside farm jobs.  Small
+#: enough that even smoke-footprint jobs write several snapshots before
+#: any plausible kill, so preemption almost never replays from scratch.
+DEFAULT_CHECKPOINT_EVERY_US = 10_000.0
+
+
+def result_path(results_dir: str | Path, job_id: str, attempt: int) -> Path:
+    """Where the outcome of one attempt of one job lands."""
+    return Path(results_dir) / f"{job_id}.a{attempt}.json"
+
+
+def _platform(spec):
+    from repro.config import PlatformConfig
+
+    overrides = {}
+    if spec.memory_pages:
+        overrides["memory_pages"] = spec.memory_pages
+    if spec.disks:
+        overrides["num_disks"] = spec.disks
+    return PlatformConfig(**overrides)
+
+
+def execute_job(spec, job_dir: Path, resume: bool,
+                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US
+                ) -> dict[str, Any]:
+    """Run one job spec to completion; returns the JSON-ready result.
+
+    Raises :class:`~repro.errors.ProcessCrash` when a plan
+    ``process_crash`` fault fires (the controller retries with resume,
+    and the shared crash ledger in ``job_dir`` keeps the retry from
+    re-dying), and whatever the simulator raises for poison jobs.
+    """
+    from repro.apps.registry import get_app
+    from repro.checkpoint import CheckpointConfig
+    from repro.core.options import CompilerOptions
+    from repro.core.prefetch_pass import insert_prefetches
+    from repro.faults.plan import FaultPlan
+    from repro.harness.experiment import (
+        compare_app,
+        default_data_pages,
+        run_variant,
+    )
+    from repro.obs.metrics import RUN_METRIC_NAMES
+
+    platform = _platform(spec)
+    app = get_app(spec.app)
+    pages = spec.pages or default_data_pages(platform,
+                                             app.default_memory_multiple)
+    plan = FaultPlan.from_dict(spec.faults) if spec.faults else None
+    # A kill can land before the first checkpoint of the first attempt,
+    # in which case the job directory was never created: resuming then
+    # just means starting fresh.
+    resume = resume and job_dir.is_dir()
+
+    if spec.kind == "run":
+        program = app.make(pages, seed=spec.seed)
+        checkpoint = CheckpointConfig(
+            every_us=checkpoint_every_us, directory=job_dir, label="job",
+            resume_from=job_dir if resume else None,
+        )
+        if spec.variant == "o":
+            stats = run_variant(program, platform, prefetching=False,
+                                warm=spec.warm, fault_plan=plan,
+                                checkpoint=checkpoint)
+        else:
+            compiled = insert_prefetches(
+                program, CompilerOptions.from_platform(platform)
+            )
+            stats = run_variant(
+                compiled.program, platform, prefetching=True,
+                runtime_filter=spec.variant != "nofilter", warm=spec.warm,
+                adaptive=spec.variant == "adaptive", fault_plan=plan,
+                checkpoint=checkpoint,
+            )
+        registry = stats.publish()
+        return {
+            "kind": "run",
+            "app": app.name,
+            "variant": spec.variant,
+            "data_pages": pages,
+            "elapsed_us": stats.elapsed_us,
+            "metrics": {name: registry.value(name)
+                        for name in RUN_METRIC_NAMES},
+        }
+
+    if spec.kind == "compare":
+        checkpoint = CheckpointConfig(
+            every_us=checkpoint_every_us, directory=job_dir,
+            resume_from=job_dir if resume else None,
+        )
+        result = compare_app(app, platform, data_pages=spec.pages or None,
+                             seed=spec.seed, warm=spec.warm, fault_plan=plan,
+                             checkpoint=checkpoint)
+        variants = [result.original, result.prefetch]
+        return {
+            "kind": "compare",
+            "app": app.name,
+            "data_pages": result.data_pages,
+            "speedup": result.speedup,
+            "rows": [{"variant": run.variant,
+                      "elapsed_us": run.stats.elapsed_us,
+                      "stall_us": run.stats.times.idle}
+                     for run in variants],
+        }
+
+    if spec.kind == "sweep":
+        rows = []
+        for multiple in spec.multiples:
+            sweep_pages = max(8, int(platform.available_frames * multiple))
+            point = compare_app(app, platform, data_pages=sweep_pages,
+                                seed=spec.seed, warm=spec.warm)
+            rows.append({"multiple": multiple,
+                         "data_pages": sweep_pages,
+                         "original_us": point.original.elapsed_us,
+                         "prefetch_us": point.prefetch.elapsed_us,
+                         "speedup": point.speedup})
+        return {"kind": "sweep", "app": app.name, "rows": rows}
+
+    # spec.kind == "chaos" (JobSpec validated the kind at admission).
+    from repro.faults.chaos import chaos_report_dict, chaos_sweep
+
+    report = chaos_sweep(app, platform, base_plan=plan,
+                         intensities=spec.intensities,
+                         data_pages=spec.pages or None,
+                         seed=spec.seed, variant=spec.variant)
+    return chaos_report_dict(report)
+
+
+def _heartbeat_loop(beats, worker_id: int, interval_s: float) -> None:
+    while True:
+        beats[worker_id] = time.monotonic()
+        time.sleep(interval_s)
+
+
+def worker_main(worker_id: int, inbox, beats, results_dir: str,
+                ckpt_root: str, hb_interval_s: float,
+                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US
+                ) -> None:
+    """Worker process entry point (the multiprocessing target)."""
+    from repro.serve.jobspec import JobSpec
+
+    beats[worker_id] = time.monotonic()
+    thread = threading.Thread(
+        target=_heartbeat_loop, args=(beats, worker_id, hb_interval_s),
+        name=f"heartbeat-{worker_id}", daemon=True,
+    )
+    thread.start()
+    results = Path(results_dir)
+    while True:
+        try:
+            message = inbox.get()
+        except (EOFError, OSError):  # controller went away
+            return
+        if message is None:  # drain sentinel
+            return
+        spec = JobSpec.from_dict(message["spec"])
+        attempt = message["attempt"]
+        job_dir = Path(ckpt_root) / spec.job_id
+        payload: dict[str, Any] = {
+            "job_id": spec.job_id,
+            "attempt": attempt,
+            "worker": worker_id,
+        }
+        start = time.perf_counter()
+        try:
+            result = execute_job(spec, job_dir, resume=message["resume"],
+                                 checkpoint_every_us=checkpoint_every_us)
+            payload.update(state="done", result=result)
+        except ProcessCrash as crash:
+            # A planned in-simulation process death: retryable, and the
+            # job's crash ledger already advanced, so the resumed
+            # attempt will run past it.
+            payload.update(state="crashed", error=str(crash))
+        except BaseException as exc:  # noqa: BLE001 -- poison jobs may raise anything
+            payload.update(state="failed",
+                           error=f"{type(exc).__name__}: {exc}")
+        payload["wall_s"] = round(time.perf_counter() - start, 4)
+        atomic_write_json(result_path(results, spec.job_id, attempt), payload)
