@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Nine authoritative reference tables are checked:
+Twelve authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -21,7 +21,13 @@ Nine authoritative reference tables are checked:
 * **JobSpec schema reference** (docs/serving.md) -- one row per field
   of ``repro.serve.jobspec.JobSpec``;
 * **Serve metric reference** (docs/serving.md) -- one row per name in
-  ``SERVE_METRIC_NAMES``.
+  ``SERVE_METRIC_NAMES``;
+* **Strategy reference** (docs/robustness.md) -- one row per name in
+  ``repro.fuzz.strategies.STRATEGY_NAMES``;
+* **Oracle reference** (docs/robustness.md) -- one row per name in
+  ``repro.fuzz.oracles.ORACLE_NAMES``;
+* **Fuzz metric reference** (docs/robustness.md) -- one row per name in
+  ``FUZZ_METRIC_NAMES``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -141,6 +147,32 @@ def documented_serve_tokens(doc_path: Path = SERVING_DOC_PATH) -> dict[str, set[
     return tokens
 
 
+def documented_fuzz_tokens(doc_path: Path = ROBUSTNESS_DOC_PATH) -> dict[str, set[str]]:
+    """First-column tokens of the robustness doc's three fuzz tables.
+
+    The fuzz tables live under ``###`` headings inside the Scenario
+    fuzzing section, so the body of each runs to the next heading of
+    *either* level.
+    """
+    doc = doc_path.read_text()
+    tokens: dict[str, set[str]] = {}
+    for heading, bucket in (("### Strategy reference", "strategies"),
+                            ("### Oracle reference", "oracles"),
+                            ("### Fuzz metric reference", "fuzz_metrics")):
+        if heading not in doc:
+            raise SystemExit(f"{doc_path}: missing section {heading!r}")
+        start = doc.index(heading) + len(heading)
+        rest = doc[start:]
+        next_heading = re.search(r"^#{2,3} ", rest, flags=re.MULTILINE)
+        body = rest[: next_heading.start()] if next_heading else rest
+        tokens[bucket] = set()
+        for line in body.splitlines():
+            match = _ROW_TOKEN.match(line.strip())
+            if match:
+                tokens[bucket].add(match.group(1))
+    return tokens
+
+
 def plan_fields_in_code() -> set[str]:
     """Every fault-plan dataclass field, named as the doc table names it."""
     import dataclasses
@@ -165,10 +197,13 @@ def check(
     import dataclasses
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.fuzz.oracles import ORACLE_NAMES
+    from repro.fuzz.strategies import STRATEGY_NAMES
     from repro.harness.bench import BENCH_PROFILES
     from repro.obs.attrib import STALL_CAUSES
     from repro.obs.metrics import (
         CKPT_METRIC_NAMES,
+        FUZZ_METRIC_NAMES,
         OBS_METRIC_NAMES,
         RUN_METRIC_NAMES,
         SERVE_METRIC_NAMES,
@@ -231,6 +266,19 @@ def check(
         problems.append(
             f"serve metric {stale!r} is documented but not in code")
 
+    fuzz_doc = documented_fuzz_tokens(robustness_doc_path)
+    for bucket, label, code_tokens in (
+        ("strategies", "fuzz strategy", set(STRATEGY_NAMES)),
+        ("oracles", "fuzz oracle", set(ORACLE_NAMES)),
+        ("fuzz_metrics", "fuzz metric", set(FUZZ_METRIC_NAMES)),
+    ):
+        for missing in sorted(code_tokens - fuzz_doc[bucket]):
+            problems.append(
+                f"{label} {missing!r} is in code but not documented")
+        for stale in sorted(fuzz_doc[bucket] - code_tokens):
+            problems.append(
+                f"{label} {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
     if len(set(CKPT_METRIC_NAMES)) != len(CKPT_METRIC_NAMES):
@@ -251,6 +299,15 @@ def check(
     if overlap:
         problems.append(
             f"names in both SERVE and other lists: {sorted(overlap)}")
+    if len(set(FUZZ_METRIC_NAMES)) != len(FUZZ_METRIC_NAMES):
+        problems.append("FUZZ_METRIC_NAMES contains duplicates")
+    overlap = set(FUZZ_METRIC_NAMES) & (set(RUN_METRIC_NAMES)
+                                        | set(OBS_METRIC_NAMES)
+                                        | set(CKPT_METRIC_NAMES)
+                                        | set(SERVE_METRIC_NAMES))
+    if overlap:
+        problems.append(
+            f"names in both FUZZ and other lists: {sorted(overlap)}")
     return problems
 
 
@@ -262,6 +319,7 @@ def main() -> int:
         return 1
     tokens = documented_tokens()
     serve_tokens = documented_serve_tokens()
+    fuzz_tokens = documented_fuzz_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
           f"{len(tokens['metrics'])} metrics, "
           f"{len(tokens['span_states'])} span states, "
@@ -270,7 +328,10 @@ def main() -> int:
           f"{len(documented_ckpt_metrics())} checkpoint metrics, "
           f"{len(documented_bench_profiles())} bench profiles, "
           f"{len(serve_tokens['jobspec_fields'])} job-spec fields, "
-          f"{len(serve_tokens['serve_metrics'])} serve metrics in sync)")
+          f"{len(serve_tokens['serve_metrics'])} serve metrics, "
+          f"{len(fuzz_tokens['strategies'])} fuzz strategies, "
+          f"{len(fuzz_tokens['oracles'])} fuzz oracles, "
+          f"{len(fuzz_tokens['fuzz_metrics'])} fuzz metrics in sync)")
     return 0
 
 

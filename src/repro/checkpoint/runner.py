@@ -30,7 +30,7 @@ from typing import Any, Callable
 
 from repro.checkpoint.snapshot import Snapshot, capture
 from repro.checkpoint.store import CheckpointStore, read_checkpoint_file
-from repro.errors import CheckpointError, ProcessCrash
+from repro.errors import CheckpointError, ProcessCrash, ensure_finite
 from repro.obs.trace import TraceKind
 
 
@@ -60,16 +60,18 @@ class CheckpointConfig:
     suppress_plan_crashes: bool = False
 
     def __post_init__(self) -> None:
-        if self.every_us is not None and self.every_us <= 0:
-            raise CheckpointError(
-                f"--checkpoint-every must be > 0, got {self.every_us}"
-            )
+        if self.every_us is not None:
+            ensure_finite(self.every_us, "--checkpoint-every", CheckpointError)
+            if self.every_us <= 0:
+                raise CheckpointError(
+                    f"--checkpoint-every must be > 0, got {self.every_us}"
+                )
         if self.keep < 1:
             raise CheckpointError(f"must retain >= 1 checkpoint, got {self.keep}")
-        object.__setattr__(
-            self, "crash_at_us",
-            tuple(sorted(float(c) for c in self.crash_at_us)),
-        )
+        crashes = tuple(sorted(float(c) for c in self.crash_at_us))
+        for cycle in crashes:
+            ensure_finite(cycle, "crash_at_us cycle", CheckpointError)
+        object.__setattr__(self, "crash_at_us", crashes)
 
     def active(self) -> bool:
         """Does this config change anything about a run?"""

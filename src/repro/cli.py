@@ -15,6 +15,8 @@
     python -m repro bench --smoke             # perf-trajectory benchmark
     python -m repro chaos EMBAR --quick       # fault-injection sweep
     python -m repro serve submit --demo 20    # supervised job farm
+    python -m repro fuzz --profile smoke      # metamorphic fuzz campaign
+    python -m repro fuzz replay FILE          # re-run one corpus finding
 
 ``run``, ``compare``, ``sweep``, ``multiprog``, ``explain``, and
 ``profile`` accept ``--trace FILE`` (Chrome trace_event JSON,
@@ -36,6 +38,11 @@ with exit code 3 and a resume hint; see docs/robustness.md.
 farm with heartbeats, retry/backoff, checkpoint-driven preemption, and
 load shedding; see docs/serving.md.  Exit codes across all commands
 follow :class:`repro.errors.ExitCode`.
+
+``fuzz`` runs a seeded property-based campaign over the whole stack:
+random scenarios per metamorphic oracle family, shrunk findings
+serialized into a replayable regression corpus (``tests/corpus/``),
+replayed first on every later campaign; see docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -814,6 +821,72 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return ExitCode.USAGE
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Property-based fuzzing with metamorphic oracles (docs/robustness.md)."""
+    from repro.fuzz import load_entry, replay_entry, run_fuzz
+    from repro.fuzz.oracles import OracleViolation
+    from repro.obs import MetricsRegistry
+
+    if args.verb == "replay":
+        if not args.paths:
+            print("fuzz replay needs at least one corpus FILE",
+                  file=sys.stderr)
+            return ExitCode.USAGE
+        failing = 0
+        for path in args.paths:
+            _scenario, oracle = load_entry(path)
+            try:
+                replay_entry(path)
+            except OracleViolation as violation:
+                failing += 1
+                print(f"{path}: FAILING [{violation.oracle}] "
+                      f"{violation.detail}")
+            else:
+                print(f"{path}: ok [{oracle}] (regression stays fixed)")
+        return ExitCode.FAILURE if failing else ExitCode.OK
+    report = run_fuzz(
+        seed=args.seed,
+        profile=args.profile,
+        corpus_dir=args.corpus,
+        out_dir=args.out,
+        log=lambda line: print(f"  {line}", flush=True),
+    )
+    rows = [
+        ["scenarios generated", report.scenarios],
+        ["machine runs", report.runs],
+        ["oracle checks", report.oracle_checks],
+        ["corpus entries replayed", report.corpus_replayed],
+        ["farm chaos runs", report.farm_runs],
+        ["families run", ", ".join(report.families_run) or "-"],
+        ["families skipped (budget)",
+         ", ".join(report.families_skipped) or "-"],
+        ["findings", len(report.findings)],
+        ["wall time", f"{report.wall_s:.1f} s"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"fuzz campaign: profile {report.profile}, seed {report.seed}",
+    ))
+    for finding in report.findings:
+        where = f" -> {finding.path}" if finding.path else ""
+        print(f"finding [{finding.oracle}] ({finding.source}): "
+              f"{finding.detail}{where}")
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        report.publish(registry)
+        write_metrics_json(args.metrics_out, registry)
+        print(f"metrics: {args.metrics_out} ({len(registry)} instruments)")
+    if args.report_out:
+        atomic_write_json(args.report_out, report.to_dict())
+        print(f"report: {args.report_out}")
+    if not report.ok:
+        print(f"{len(report.findings)} oracle violation(s); shrunk "
+              f"scenarios are replayable with: repro fuzz replay FILE",
+              file=sys.stderr)
+        return ExitCode.FAILURE
+    return ExitCode.OK
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1070,6 +1143,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "under DIR (default: a temp dir, deleted)")
     p.add_argument("--seed", type=int, default=1,
                    help="demo-batch / retry-jitter seed (default 1)")
+
+    p = sub.add_parser(
+        "fuzz",
+        help="property-based scenario fuzzing with metamorphic oracles",
+        description="Generate random-but-valid scenarios per oracle "
+                    "family, run them through the full stack, and check "
+                    "the metamorphic oracles; shrunk findings land in "
+                    "the regression corpus and are replayed first on "
+                    "every later campaign (see docs/robustness.md). "
+                    "Exits 0 when every oracle held, 1 on any finding.",
+    )
+    p.add_argument("verb", nargs="?", choices=["run", "replay"],
+                   default="run",
+                   help="run a campaign (default) or replay corpus files")
+    p.add_argument("paths", nargs="*", metavar="FILE",
+                   help="corpus entries to replay (replay verb only)")
+    p.add_argument("--profile", choices=["smoke", "ci", "deep"],
+                   default="smoke",
+                   help="campaign shape: examples per family + wall "
+                        "budget (default smoke)")
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign seed; same (seed, profile) regenerates "
+                        "the same scenarios (default 1)")
+    p.add_argument("--corpus", default="tests/corpus", metavar="DIR",
+                   help="regression corpus replayed first and extended "
+                        "with new shrunk findings (default tests/corpus)")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write new findings here instead of --corpus")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="write the fuzz.* metrics-registry JSON artifact")
+    p.add_argument("--report-out", metavar="FILE",
+                   help="write the full campaign report as JSON (atomic)")
     return parser
 
 
@@ -1087,6 +1192,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "chaos": cmd_chaos,
     "serve": cmd_serve,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ensure_finite
 
 #: Number of bytes in one virtual-memory page on the default platform.
 DEFAULT_PAGE_SIZE = 4096
@@ -68,8 +68,8 @@ class DiskParameters:
         # independent), but negative time is not, and the transfer term
         # must stay positive so every service time is > 0.
         for name in ("avg_seek_us", "short_seek_us", "rotational_us",
-                     "command_overhead_us"):
-            value = getattr(self, name)
+                     "command_overhead_us", "transfer_us_per_page"):
+            value = ensure_finite(getattr(self, name), f"disk parameter {name!r}")
             if value < 0:
                 raise ConfigError(f"disk parameter {name!r} must be >= 0, got {value}")
         if self.transfer_us_per_page <= 0:
@@ -157,6 +157,7 @@ class CostModel:
 
     def validate(self) -> None:
         for name, value in vars(self).items():
+            ensure_finite(value, f"cost model field {name!r}")
             if value < 0:
                 raise ConfigError(f"cost model field {name!r} must be >= 0, got {value}")
 

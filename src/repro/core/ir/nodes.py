@@ -27,7 +27,7 @@ from typing import Sequence
 
 from repro.core.ir.arrays import ArrayDecl
 from repro.core.ir.expr import Expr, ExprLike, as_expr
-from repro.errors import IRError
+from repro.errors import IRError, ensure_finite
 
 _loop_ids = itertools.count(1)
 
@@ -88,6 +88,7 @@ class Work(Stmt):
     def __init__(
         self, refs: Sequence[ArrayRef], cost_us: float, text: str | None = None
     ) -> None:
+        ensure_finite(cost_us, "work cost", IRError)
         if cost_us < 0:
             raise IRError(f"work cost must be >= 0, got {cost_us}")
         self.refs = tuple(refs)

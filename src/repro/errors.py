@@ -44,6 +44,22 @@ class ConfigError(ReproError):
     """An invalid :class:`~repro.config.PlatformConfig` was supplied."""
 
 
+def ensure_finite(value: float, what: str,
+                  exc: type[ReproError] = ConfigError) -> float:
+    """Reject NaN and infinities with a clear :class:`ReproError`.
+
+    Range checks alone let non-finite values through (``nan < 0`` is
+    false), and a single NaN cost or timestamp silently poisons every
+    clock accumulator downstream -- the fuzzer found this the hard way.
+    Returns ``value`` so validators can use it inline.
+    """
+    import math
+
+    if not math.isfinite(value):
+        raise exc(f"{what} must be finite, got {value}")
+    return value
+
+
 class IRError(ReproError):
     """An IR construction or validation problem (malformed loop nest)."""
 

@@ -27,7 +27,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ensure_finite
 from repro.ioutil import atomic_write_json
 
 #: The fault-plan JSON schema version this build reads and writes.
@@ -49,6 +49,9 @@ class SlowWindow:
     multiplier: float = 4.0
 
     def __post_init__(self) -> None:
+        ensure_finite(self.start_us, "slow window start_us")
+        ensure_finite(self.duration_us, "slow window duration_us")
+        ensure_finite(self.multiplier, "slow window multiplier")
         if self.start_us < 0:
             raise ConfigError(f"slow window start_us must be >= 0, got {self.start_us}")
         if self.duration_us <= 0:
@@ -93,8 +96,10 @@ class DiskFaultSpec:
             raise ConfigError(
                 f"read_error_rate must be in [0, 1], got {self.read_error_rate}"
             )
-        if self.dead_at_us is not None and self.dead_at_us < 0:
-            raise ConfigError(f"dead_at_us must be >= 0, got {self.dead_at_us}")
+        if self.dead_at_us is not None:
+            ensure_finite(self.dead_at_us, "dead_at_us")
+            if self.dead_at_us < 0:
+                raise ConfigError(f"dead_at_us must be >= 0, got {self.dead_at_us}")
         # Tuples survive JSON round trips as lists; normalize.
         object.__setattr__(self, "slow_windows", tuple(self.slow_windows))
 
@@ -116,6 +121,10 @@ class PressureStorm:
     hold_us: float | None = None
 
     def __post_init__(self) -> None:
+        ensure_finite(self.start_us, "storm start_us")
+        ensure_finite(self.period_us, "storm period_us")
+        if self.hold_us is not None:
+            ensure_finite(self.hold_us, "storm hold_us")
         if self.start_us < 0:
             raise ConfigError(f"storm start_us must be >= 0, got {self.start_us}")
         if self.frames <= 0:
@@ -183,6 +192,7 @@ class FaultPlan:
         object.__setattr__(self, "storms", tuple(self.storms))
         crashes = tuple(sorted(float(c) for c in self.crashes))
         for cycle in crashes:
+            ensure_finite(cycle, "crash cycle")
             if cycle < 0:
                 raise ConfigError(f"crash cycle must be >= 0, got {cycle}")
         object.__setattr__(self, "crashes", crashes)
@@ -195,6 +205,10 @@ class FaultPlan:
             raise ConfigError(
                 f"hint_failure_rate must be in [0, 1], got {self.hint_failure_rate}"
             )
+        ensure_finite(self.bitvector_lag_us, "bitvector_lag_us")
+        ensure_finite(self.hint_timeout_us, "hint_timeout_us")
+        ensure_finite(self.retry_backoff_us, "retry_backoff_us")
+        ensure_finite(self.reconstruction_penalty, "reconstruction_penalty")
         if self.bitvector_lag_us < 0:
             raise ConfigError(f"bitvector_lag_us must be >= 0, got {self.bitvector_lag_us}")
         if self.hint_timeout_us < 0:

@@ -1,0 +1,57 @@
+"""Property-based scenario fuzzing with metamorphic oracles.
+
+``repro fuzz`` generates random-but-valid workloads, machines, fault
+plans, and schedules (``strategies``), runs them through the full
+machine / checkpoint / multiprog stack, and checks six metamorphic and
+differential oracle families (``oracles``).  Failures are shrunk by
+hypothesis and serialized into a replayable regression corpus
+(``corpus``); ``runner`` drives time-budgeted campaigns.  See
+docs/robustness.md's fuzzing section.
+"""
+
+from repro.fuzz.corpus import (
+    corpus_files,
+    load_entry,
+    replay_entry,
+    write_entry,
+)
+from repro.fuzz.oracles import (
+    ORACLE_CHECKS,
+    ORACLE_NAMES,
+    OracleViolation,
+    run_oracles,
+)
+from repro.fuzz.runner import FUZZ_PROFILES, FuzzProfile, FuzzReport, run_fuzz
+from repro.fuzz.scenario import (
+    CheckpointSpec,
+    LoopSpec,
+    PlatformSpec,
+    ProgramSpec,
+    RefSpec,
+    Scenario,
+    WorkSpec,
+)
+from repro.fuzz.strategies import STRATEGY_NAMES
+
+__all__ = [
+    "CheckpointSpec",
+    "FUZZ_PROFILES",
+    "FuzzProfile",
+    "FuzzReport",
+    "LoopSpec",
+    "ORACLE_CHECKS",
+    "ORACLE_NAMES",
+    "OracleViolation",
+    "PlatformSpec",
+    "ProgramSpec",
+    "RefSpec",
+    "STRATEGY_NAMES",
+    "Scenario",
+    "WorkSpec",
+    "corpus_files",
+    "load_entry",
+    "replay_entry",
+    "run_fuzz",
+    "run_oracles",
+    "write_entry",
+]

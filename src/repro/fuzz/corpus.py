@@ -1,0 +1,92 @@
+"""The regression corpus: shrunk fuzz findings as committed JSON files.
+
+When an oracle fails, the runner serializes the *shrunk* scenario --
+hypothesis re-raises from the minimal failing example -- into one JSON
+file named after the violated oracle and a content digest.  Corpus files
+are committed under ``tests/corpus/`` and replayed two ways:
+
+* ``repro fuzz replay FILE`` rebuilds the scenario and re-runs its
+  oracles (exit 1 while the bug lives, 0 once fixed);
+* ``tests/test_corpus.py`` replays every committed file as an ordinary
+  deterministic regression test, so a fixed bug stays fixed;
+* ``repro fuzz`` replays the corpus directory *before* generating new
+  scenarios, so CI red-flags a regression without spending the fuzz
+  budget first.
+
+A corpus entry deliberately stores the scenario only -- no stats, no
+environment -- because the oracles recompute everything from scratch;
+whatever drifts (cost model, compiler, VM) is exactly what the replay
+should re-judge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.fuzz.oracles import OracleViolation, run_oracles
+from repro.fuzz.scenario import Scenario
+from repro.ioutil import atomic_write_json
+
+#: Corpus entry schema version.
+CORPUS_VERSION = 1
+
+
+def corpus_entry(violation: OracleViolation) -> dict:
+    """The JSON payload recording one (shrunk) finding."""
+    return {
+        "corpus_version": CORPUS_VERSION,
+        "oracle": violation.oracle,
+        "detail": violation.detail,
+        "scenario": violation.scenario.to_dict(),
+    }
+
+
+def entry_name(violation: OracleViolation) -> str:
+    """Stable filename: oracle plus a digest of the scenario itself."""
+    blob = json.dumps(violation.scenario.to_dict(), sort_keys=True)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+    return f"{violation.oracle}-{digest}.json"
+
+
+def write_entry(directory: str | Path, violation: OracleViolation) -> Path:
+    """Serialize one finding into ``directory``; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_name(violation)
+    atomic_write_json(path, corpus_entry(violation))
+    return path
+
+
+def load_entry(path: str | Path) -> tuple[Scenario, str]:
+    """Read one corpus file back into ``(scenario, oracle_name)``."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"cannot load corpus entry {path}: {exc}") from None
+    if not isinstance(data, dict) or "scenario" not in data:
+        raise ConfigError(f"corpus entry {path} has no scenario")
+    version = data.get("corpus_version", CORPUS_VERSION)
+    if version != CORPUS_VERSION:
+        raise ConfigError(
+            f"corpus entry {path} has version {version!r}; this build "
+            f"reads version {CORPUS_VERSION}"
+        )
+    return Scenario.from_dict(data["scenario"]), data.get("oracle", "?")
+
+
+def replay_entry(path: str | Path) -> None:
+    """Re-run one corpus entry's oracles (raises OracleViolation if red)."""
+    scenario, _oracle = load_entry(path)
+    run_oracles(scenario)
+
+
+def corpus_files(directory: str | Path) -> list[Path]:
+    """Every corpus entry under ``directory``, sorted for determinism."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))

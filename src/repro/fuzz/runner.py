@@ -1,0 +1,280 @@
+"""The fuzz campaign driver: profiles, budgets, corpus, reporting.
+
+``run_fuzz`` executes one seeded campaign:
+
+1. **Corpus replay first.**  Every committed regression file under the
+   corpus directory is rebuilt and re-checked before any new scenario is
+   generated -- a reintroduced bug fails fast without spending the fuzz
+   budget.
+2. **Property-based generation.**  For each oracle family, hypothesis
+   generates ``examples_per_family`` scenarios from the family's
+   strategy (seeded via :func:`repro.seeding.derive_int`, database off,
+   so a campaign is a pure function of ``(seed, profile)``).  A failing
+   scenario is shrunk by hypothesis; the minimal example is serialized
+   into the corpus as a replayable JSON file.
+3. **Farm chaos** (ci/deep profiles).  Real multiprocessing job-farm
+   runs under worker kill/stall plans -- too heavy for hypothesis's
+   example counts, so they run as a fixed number of seeded scenarios
+   checking the never-hung property (every record terminal).
+
+The wall-clock budget is checked *between* families: a family that
+starts gets to finish (its examples are cheap; shrinking is the long
+tail), and any family skipped by budget exhaustion is named in the
+report -- a truncated campaign never silently poses as a full one.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from hypothesis import HealthCheck, given
+from hypothesis import seed as hypothesis_seed
+from hypothesis import settings as hypothesis_settings
+
+from repro.errors import ConfigError
+from repro.fuzz import corpus as corpus_mod
+from repro.fuzz.oracles import (
+    ORACLE_NAMES,
+    OracleViolation,
+    RUNS,
+    run_oracles,
+)
+from repro.fuzz.strategies import scenarios
+from repro.seeding import derive_int, derive_rng
+
+#: Job-count ceiling of one generated farm chaos scenario.
+_FARM_JOBS = 6
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """One time-budgeted campaign shape (``--profile``)."""
+
+    name: str
+    #: Hypothesis examples generated per oracle family.
+    examples_per_family: int
+    #: Wall-clock budget; families are skipped (and named) once spent.
+    wall_budget_s: float
+    #: Seeded real-multiprocessing farm chaos scenarios (ci/deep only).
+    farm_scenarios: int
+
+
+#: The three supported campaign shapes.
+FUZZ_PROFILES: dict[str, FuzzProfile] = {
+    "smoke": FuzzProfile("smoke", examples_per_family=8,
+                         wall_budget_s=120.0, farm_scenarios=0),
+    "ci": FuzzProfile("ci", examples_per_family=30,
+                      wall_budget_s=600.0, farm_scenarios=1),
+    "deep": FuzzProfile("deep", examples_per_family=200,
+                        wall_budget_s=3600.0, farm_scenarios=2),
+}
+
+
+@dataclass
+class Finding:
+    """One oracle violation the campaign produced or replayed."""
+
+    oracle: str
+    detail: str
+    #: Corpus file holding the (shrunk) scenario, when serialized.
+    path: str | None = None
+    #: "corpus" for a replay failure, "generated" for a fresh finding.
+    source: str = "generated"
+
+
+@dataclass
+class FuzzReport:
+    """The complete outcome of one campaign."""
+
+    profile: str
+    seed: int
+    scenarios: int = 0
+    runs: int = 0
+    oracle_checks: int = 0
+    corpus_replayed: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    families_run: list[str] = field(default_factory=list)
+    families_skipped: list[str] = field(default_factory=list)
+    farm_runs: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.profile,
+            "seed": self.seed,
+            "scenarios": self.scenarios,
+            "runs": self.runs,
+            "oracle_checks": self.oracle_checks,
+            "corpus_replayed": self.corpus_replayed,
+            "findings": [vars(f) for f in self.findings],
+            "families_run": list(self.families_run),
+            "families_skipped": list(self.families_skipped),
+            "farm_runs": self.farm_runs,
+            "wall_s": self.wall_s,
+            "ok": self.ok,
+        }
+
+    def publish(self, metrics) -> None:
+        """Mirror the campaign into ``fuzz.*`` metrics (see metrics.py)."""
+        metrics.counter("fuzz.scenarios").inc(self.scenarios)
+        metrics.counter("fuzz.runs").inc(self.runs)
+        metrics.counter("fuzz.oracle_checks").inc(self.oracle_checks)
+        metrics.counter("fuzz.violations").inc(len(self.findings))
+        metrics.counter("fuzz.corpus_replayed").inc(self.corpus_replayed)
+        metrics.gauge("fuzz.wall_s").set(self.wall_s)
+
+
+def _extract_violations(exc: BaseException) -> list[OracleViolation]:
+    """Pull every OracleViolation out of (possibly grouped) exceptions."""
+    if isinstance(exc, OracleViolation):
+        return [exc]
+    nested = getattr(exc, "exceptions", None)
+    if nested:
+        found: list[OracleViolation] = []
+        for sub in nested:
+            found.extend(_extract_violations(sub))
+        return found
+    return []
+
+
+def _family_property(family: str, seed: int, examples: int,
+                     report: FuzzReport):
+    """Build the hypothesis property checking one oracle family."""
+
+    @hypothesis_seed(derive_int(seed, "fuzz", family))
+    @hypothesis_settings(max_examples=examples, deadline=None,
+                         database=None,
+                         suppress_health_check=list(HealthCheck))
+    @given(scenario=scenarios(family))
+    def prop(scenario):
+        report.scenarios += 1
+        report.oracle_checks += run_oracles(scenario)
+
+    return prop
+
+
+def _run_farm_chaos(seed: int, index: int, report: FuzzReport, log) -> None:
+    """One seeded farm run under worker chaos; never-hung oracle."""
+    from repro.faults.farm import FarmChaosPlan, WorkerFault
+    from repro.serve import FarmConfig, demo_jobs, run_farm
+
+    rng = derive_rng(seed, "fuzz", "farm", index)
+    jobs = demo_jobs(_FARM_JOBS, seed=rng.randrange(1, 2**16),
+                     poison=rng.choice([0, 1]))
+    starts = rng.sample(range(1, _FARM_JOBS + 1), k=rng.randrange(1, 4))
+    chaos = FarmChaosPlan(faults=tuple(
+        WorkerFault(on_start=start, delay_s=rng.uniform(0.0, 0.1),
+                    op=rng.choice(["kill", "stall"]))
+        for start in sorted(starts)
+    ))
+    config = FarmConfig(workers=2, hb_interval_s=0.05, hb_timeout_s=1.0,
+                        max_wall_s=90.0)
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-farm-") as workdir:
+        farm_report = run_farm(jobs, config, workdir, chaos=chaos)
+    report.farm_runs += 1
+    report.runs += len(farm_report.records)
+    report.oracle_checks += 1
+    if not farm_report.all_terminal:
+        stuck = [r.spec.job_id for r in farm_report.records
+                 if not r.terminal]
+        report.findings.append(Finding(
+            oracle="chaos_termination",
+            detail=(f"farm chaos run {index} left non-terminal jobs "
+                    f"{stuck} (plan: {chaos.to_dict()})"),
+            source="generated",
+        ))
+        if log:
+            log(f"farm chaos {index}: FAILED, non-terminal jobs {stuck}")
+    elif log:
+        log(f"farm chaos {index}: {len(farm_report.records)} jobs "
+            f"terminal in {farm_report.wall_s:.1f}s")
+
+
+def run_fuzz(seed: int = 1, profile: str = "smoke",
+             corpus_dir: str | Path | None = None,
+             out_dir: str | Path | None = None,
+             log=None) -> FuzzReport:
+    """Run one fuzz campaign; see the module docstring for the phases.
+
+    ``corpus_dir`` is replayed first and receives new shrunk findings
+    unless ``out_dir`` overrides the write target.  Returns the
+    :class:`FuzzReport`; the campaign itself never raises on findings.
+    """
+    prof = FUZZ_PROFILES.get(profile)
+    if prof is None:
+        raise ConfigError(
+            f"unknown fuzz profile {profile!r}; "
+            f"choose from {sorted(FUZZ_PROFILES)}"
+        )
+    report = FuzzReport(profile=prof.name, seed=seed)
+    write_dir = Path(out_dir) if out_dir is not None else (
+        Path(corpus_dir) if corpus_dir is not None else None)
+    started = time.monotonic()
+    runs_before = RUNS.count
+
+    # Phase 1: replay the committed corpus.
+    if corpus_dir is not None:
+        for path in corpus_mod.corpus_files(corpus_dir):
+            try:
+                corpus_mod.replay_entry(path)
+            except OracleViolation as violation:
+                report.findings.append(Finding(
+                    oracle=violation.oracle, detail=violation.detail,
+                    path=str(path), source="corpus",
+                ))
+                if log:
+                    log(f"corpus {path.name}: still FAILING "
+                        f"({violation.oracle})")
+            else:
+                if log:
+                    log(f"corpus {path.name}: ok")
+            report.corpus_replayed += 1
+
+    # Phase 2: generated scenarios, one hypothesis property per family.
+    for family in ORACLE_NAMES:
+        elapsed = time.monotonic() - started
+        if elapsed > prof.wall_budget_s:
+            report.families_skipped.append(family)
+            continue
+        if log:
+            log(f"family {family}: {prof.examples_per_family} examples")
+        prop = _family_property(family, seed, prof.examples_per_family,
+                               report)
+        try:
+            prop()
+        except BaseException as exc:  # noqa: BLE001 - findings, not errors
+            violations = _extract_violations(exc)
+            if not violations:
+                raise
+            for violation in violations:
+                path = (str(corpus_mod.write_entry(write_dir, violation))
+                        if write_dir is not None else None)
+                report.findings.append(Finding(
+                    oracle=violation.oracle, detail=violation.detail,
+                    path=path, source="generated",
+                ))
+                if log:
+                    where = f" -> {path}" if path else ""
+                    log(f"family {family}: FINDING "
+                        f"{violation.detail[:120]}{where}")
+        report.families_run.append(family)
+
+    # Phase 3: farm chaos (real multiprocessing; ci/deep only).
+    for index in range(prof.farm_scenarios):
+        if time.monotonic() - started > prof.wall_budget_s:
+            report.families_skipped.append(f"farm:{index}")
+            continue
+        _run_farm_chaos(seed, index, report, log)
+
+    report.runs += RUNS.count - runs_before
+    report.wall_s = time.monotonic() - started
+    if log and report.families_skipped:
+        log(f"budget exhausted; skipped: {report.families_skipped}")
+    return report

@@ -1,0 +1,341 @@
+"""The declarative fuzz scenario: a seeded, JSON-able run description.
+
+A :class:`Scenario` is the unit the fuzzer generates, shrinks, and
+serializes into the regression corpus.  It deliberately does *not* hold
+live IR or machine objects -- it holds the recipe to rebuild them, so a
+corpus file replays bit-identically on any checkout:
+
+* a **program spec**, either a bounded random loop nest
+  (:class:`LoopSpec` / :class:`WorkSpec` trees built through
+  :class:`~repro.core.ir.builder.ProgramBuilder`) or a named
+  :mod:`repro.apps.synthetic` pattern with parameters (which covers the
+  indirect ``a[b[i]]`` references the nest grammar does not generate);
+* a **platform spec** (memory pages, disks, block size -- the memory /
+  data-page ratio falls out of the two);
+* an optional **fault plan** (reusing the versioned
+  :class:`repro.faults.plan.FaultPlan` JSON schema verbatim);
+* an optional **checkpoint schedule**, expressed as *fractions* of the
+  run's safe-point cycles so a shrunk program keeps a valid schedule;
+* the list of **oracles** the scenario must satisfy, plus the declared
+  bounds oracle (a) and (f) check against.
+
+Arrays in a loop nest are sized from their uses (the maximum index any
+reference can reach), so every generated binding is valid by
+construction -- shrinking can only shrink footprints, never create an
+out-of-segment reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps import synthetic
+from repro.config import PlatformConfig
+from repro.core.ir.builder import ProgramBuilder, loop, work
+from repro.core.ir.expr import Var
+from repro.core.ir.nodes import ArrayRef, Program
+from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
+
+SCENARIO_VERSION = 1
+
+#: Pattern-program builders the ``pattern`` spec kind may name.
+PATTERN_BUILDERS = {
+    "stream": synthetic.stream,
+    "repeated_sweep": synthetic.repeated_sweep,
+    "strided": synthetic.strided,
+    "stencil1d": synthetic.stencil1d,
+    "gather": synthetic.gather,
+    "scatter": synthetic.scatter,
+    "random_walk": synthetic.random_walk,
+}
+
+
+@dataclass(frozen=True)
+class RefSpec:
+    """One affine array reference ``array[var*mul + add]``.
+
+    ``depth`` names the enclosing loop whose variable indexes the array
+    (0 = outermost on the current path), so an inner loop can reference
+    an outer induction variable -- the temporal-locality shapes the
+    planner's reuse analysis has to get right.
+    """
+
+    array: int  # array number; the builder names it a<n>
+    depth: int
+    mul: int
+    add: int
+    write: bool = False
+
+    def to_dict(self) -> dict:
+        return {"array": self.array, "depth": self.depth, "mul": self.mul,
+                "add": self.add, "write": self.write}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RefSpec":
+        return cls(int(data["array"]), int(data["depth"]), int(data["mul"]),
+                   int(data["add"]), bool(data.get("write", False)))
+
+
+@dataclass(frozen=True)
+class WorkSpec:
+    """One straight-line work statement."""
+
+    cost_us: float
+    refs: tuple[RefSpec, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"work": {"cost_us": self.cost_us,
+                         "refs": [r.to_dict() for r in self.refs]}}
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One counted loop; ``extent`` may be 0 (a legal dead loop)."""
+
+    extent: int
+    step: int
+    body: tuple  # of LoopSpec | WorkSpec
+
+    def to_dict(self) -> dict:
+        return {"loop": {"extent": self.extent, "step": self.step,
+                         "body": [stmt.to_dict() for stmt in self.body]}}
+
+
+def _stmt_from_dict(data: dict):
+    if "loop" in data:
+        d = data["loop"]
+        return LoopSpec(int(d["extent"]), int(d["step"]),
+                        tuple(_stmt_from_dict(s) for s in d["body"]))
+    d = data["work"]
+    return WorkSpec(float(d["cost_us"]),
+                    tuple(RefSpec.from_dict(r) for r in d["refs"]))
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Either a random loop nest or a named synthetic pattern."""
+
+    nest: tuple[LoopSpec, ...] = ()
+    pattern: str | None = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.pattern is not None and self.pattern not in PATTERN_BUILDERS:
+            raise ConfigError(
+                f"unknown pattern {self.pattern!r}; "
+                f"known: {sorted(PATTERN_BUILDERS)}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        """A fresh :class:`Program` (array bindings are per-run state)."""
+        if self.pattern is not None:
+            return PATTERN_BUILDERS[self.pattern](**self.params)
+        builder = ProgramBuilder("fuzz")
+        extents = self._array_extents()
+        arrays = {
+            n: builder.array(f"a{n}", (max(elems, 1),), elem_size=8)
+            for n, elems in sorted(extents.items())
+        }
+        for stmt in self.nest:
+            builder.append(self._build_stmt(stmt, arrays, 0))
+        return builder.build()
+
+    def _build_stmt(self, stmt, arrays, depth):
+        if isinstance(stmt, WorkSpec):
+            refs = [
+                ArrayRef(arrays[r.array],
+                         (Var(f"i{r.depth}") * r.mul + r.add,),
+                         is_write=r.write)
+                for r in stmt.refs
+            ]
+            return work(refs, stmt.cost_us)
+        body = [self._build_stmt(s, arrays, depth + 1) for s in stmt.body]
+        return loop(f"i{depth}", 0, stmt.extent, body, step=stmt.step)
+
+    def _array_extents(self) -> dict[int, int]:
+        """Element count each array needs to keep every ref in-bounds."""
+        extents: dict[int, int] = {}
+
+        def walk(stmts, path_extents):
+            for stmt in stmts:
+                if isinstance(stmt, LoopSpec):
+                    walk(stmt.body, path_extents + [stmt.extent])
+                    continue
+                for ref in stmt.refs:
+                    if ref.depth >= len(path_extents):
+                        raise ConfigError(
+                            f"ref depth {ref.depth} exceeds loop nesting "
+                            f"{len(path_extents)}"
+                        )
+                    # The loop runs 0, step, ... < extent, so extent-1
+                    # bounds the variable from above whatever the step
+                    # (0 when the loop is dead).
+                    extent = path_extents[ref.depth]
+                    last = extent - 1 if extent > 0 else 0
+                    need = ref.mul * last + ref.add + 1
+                    extents[ref.array] = max(extents.get(ref.array, 1), need)
+
+        walk(self.nest, [])
+        return extents
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        if self.pattern is not None:
+            return {"pattern": self.pattern, "params": dict(self.params)}
+        return {"nest": [stmt.to_dict() for stmt in self.nest]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProgramSpec":
+        if "pattern" in data:
+            return cls(pattern=data["pattern"],
+                       params=dict(data.get("params", {})))
+        return cls(nest=tuple(_stmt_from_dict(s) for s in data["nest"]))
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """The generated machine geometry (page size stays at the default)."""
+
+    memory_pages: int = 64
+    num_disks: int = 4
+    prefetch_block_pages: int = 4
+    available_fraction: float = 1.0
+
+    def build(self) -> PlatformConfig:
+        return PlatformConfig(
+            memory_pages=self.memory_pages,
+            num_disks=self.num_disks,
+            prefetch_block_pages=self.prefetch_block_pages,
+            available_fraction=self.available_fraction,
+        )
+
+    def to_dict(self) -> dict:
+        return {"memory_pages": self.memory_pages,
+                "num_disks": self.num_disks,
+                "prefetch_block_pages": self.prefetch_block_pages,
+                "available_fraction": self.available_fraction}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlatformSpec":
+        return cls(int(data["memory_pages"]), int(data["num_disks"]),
+                   int(data["prefetch_block_pages"]),
+                   float(data["available_fraction"]))
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Checkpoint cadence + kill schedule in safe-point fractions.
+
+    Fractions index into the run's observed safe-point cycles (probed
+    once per check), so the schedule stays valid however small the
+    shrunk program gets: ``every_frac=0.1`` checkpoints every ~10% of
+    the run, each ``crash_fracs`` entry kills the process at that point
+    of the run.
+    """
+
+    every_frac: float = 0.25
+    crash_fracs: tuple[float, ...] = (0.5,)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.every_frac <= 1.0:
+            raise ConfigError(
+                f"every_frac must be in (0, 1], got {self.every_frac}")
+        for frac in self.crash_fracs:
+            if not 0.0 < frac < 1.0:
+                raise ConfigError(
+                    f"crash fractions must be in (0, 1), got {frac}")
+
+    def to_dict(self) -> dict:
+        return {"every_frac": self.every_frac,
+                "crash_fracs": list(self.crash_fracs)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckpointSpec":
+        return cls(float(data["every_frac"]),
+                   tuple(float(f) for f in data["crash_fracs"]))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One complete generated run description (see module docstring)."""
+
+    program: ProgramSpec
+    platform: PlatformSpec
+    oracles: tuple[str, ...]
+    fault_plan: FaultPlan | None = None
+    checkpoint: CheckpointSpec | None = None
+    #: Oracle (a)'s declared bound: P's stall may not exceed
+    #: ``O_stall * stall_factor + stall_slack_us``.  The default factor
+    #: was tuned over ~400 generated scenarios: legitimate adversarial
+    #: geometries (tight memory + heavy reuse, where prefetches evict
+    #: live pages) reach ~3.2x, so 5x catches catastrophic regressions
+    #: without flagging the regime the paper itself documents as hard.
+    stall_factor: float = 5.0
+    stall_slack_us: float = 50_000.0
+    #: Oracle (f)'s declared bound: a faulted run may not exceed
+    #: ``clean_elapsed * budget_factor + budget_slack_us``.
+    budget_factor: float = 50.0
+    budget_slack_us: float = 10_000_000.0
+    #: Co-scheduled copies of the program (> 1 makes oracle (f) run the
+    #: multiprogrammed chaos check: tenants alternate O/P, share one
+    #: faulted machine, must terminate *and* attribute every stall-read
+    #: microsecond exactly).
+    tenants: int = 1
+    version: int = SCENARIO_VERSION
+
+    def __post_init__(self) -> None:
+        if self.version != SCENARIO_VERSION:
+            raise ConfigError(
+                f"scenario version {self.version!r} is not supported "
+                f"(this build reads version {SCENARIO_VERSION})"
+            )
+        if self.tenants < 1:
+            raise ConfigError(f"tenants must be >= 1, got {self.tenants}")
+        from repro.fuzz.oracles import ORACLE_NAMES
+
+        for name in self.oracles:
+            if name not in ORACLE_NAMES:
+                raise ConfigError(
+                    f"unknown oracle {name!r}; known: {list(ORACLE_NAMES)}")
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "version": self.version,
+            "program": self.program.to_dict(),
+            "platform": self.platform.to_dict(),
+            "oracles": list(self.oracles),
+            "stall_factor": self.stall_factor,
+            "stall_slack_us": self.stall_slack_us,
+            "budget_factor": self.budget_factor,
+            "budget_slack_us": self.budget_slack_us,
+            "tenants": self.tenants,
+        }
+        if self.fault_plan is not None:
+            data["fault_plan"] = self.fault_plan.to_dict()
+        if self.checkpoint is not None:
+            data["checkpoint"] = self.checkpoint.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        return cls(
+            program=ProgramSpec.from_dict(data["program"]),
+            platform=PlatformSpec.from_dict(data["platform"]),
+            oracles=tuple(data["oracles"]),
+            fault_plan=(FaultPlan.from_dict(data["fault_plan"])
+                        if "fault_plan" in data else None),
+            checkpoint=(CheckpointSpec.from_dict(data["checkpoint"])
+                        if "checkpoint" in data else None),
+            stall_factor=float(data.get("stall_factor", 5.0)),
+            stall_slack_us=float(data.get("stall_slack_us", 50_000.0)),
+            budget_factor=float(data.get("budget_factor", 50.0)),
+            budget_slack_us=float(data.get("budget_slack_us", 10_000_000.0)),
+            tenants=int(data.get("tenants", 1)),
+            version=int(data.get("version", SCENARIO_VERSION)),
+        )

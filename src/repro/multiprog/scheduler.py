@@ -16,8 +16,10 @@ from dataclasses import dataclass, field
 
 from repro.config import PlatformConfig
 from repro.core.ir.nodes import Program
-from repro.errors import MachineError
+from repro.errors import MachineError, ensure_finite
+from repro.faults.inject import FaultInjector, LaggedBitVector
 from repro.multiprog.stream import ProcessStream
+from repro.obs.trace import TraceKind
 from repro.runtime.layer import RuntimeLayer
 from repro.sim.clock import Clock, TimeCategory
 from repro.sim.stats import RunStats, TimeBreakdown
@@ -50,6 +52,11 @@ class ScheduleResult:
     processes: list[ProcessResult]
     stats: RunStats
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: CPU-idle time accumulated by the scheduler itself (every process
+    #: blocked on the disks).  Together with the memory manager's
+    #: frame-pin waits this accounts for ``times.stall_read`` *exactly*
+    #: -- the multiprog stall-conservation oracle (tests/test_fuzz.py).
+    idle_wait_us: float = 0.0
 
     def process(self, name: str) -> ProcessResult:
         for proc in self.processes:
@@ -77,7 +84,9 @@ class CoScheduler:
     """Runs several programs on one shared simulated machine."""
 
     def __init__(self, platform: PlatformConfig | None = None,
-                 quantum_us: float = 20_000.0, observer=None) -> None:
+                 quantum_us: float = 20_000.0, observer=None,
+                 fault_plan=None) -> None:
+        ensure_finite(quantum_us, "quantum", MachineError)
         if quantum_us <= 0:
             raise MachineError(f"quantum must be positive, got {quantum_us}")
         self.platform = platform or PlatformConfig()
@@ -88,18 +97,46 @@ class CoScheduler:
         #: shared, so one observer sees every process's events interleaved
         #: in simulated-time order.
         self.obs = observer
+        #: Active :class:`repro.faults.FaultInjector`, or None -- the same
+        #: wiring as :class:`repro.machine.machine.Machine`, applied to
+        #: the *shared* hardware so every tenant suffers the same storms,
+        #: slow disks, and stale residency bits.  ``crashes`` entries are
+        #: ignored: process crashes are delivered at interpreter safe
+        #: points, and the co-scheduler replays event streams that have
+        #: none.
+        self.injector = (
+            FaultInjector(fault_plan, self.platform.num_disks)
+            if fault_plan is not None else None
+        )
         self.address_space = AddressSpace(self.platform.page_size)
-        self.disks = DiskArray(self.platform, observer=observer)
+        self.disks = DiskArray(
+            self.platform, observer=observer,
+            faults=self.injector.storage if self.injector is not None else None,
+        )
         self.manager = MemoryManager(
             self.platform, self.clock, self.disks, self.stats,
             observer=observer,
         )
+        if self.injector is not None:
+            for at_us, frames, hold_us in self.injector.storm_bursts():
+                self.manager.schedule_pressure(at_us, frames, hold_us)
+                self.stats.robust.storm_bursts += 1
         self.layer = RuntimeLayer(
             self.platform, self.clock, self.manager, self.stats,
             observer=observer,
         )
+        if self.injector is not None:
+            self.layer.hint_faults = self.injector.hints
+            if self.injector.plan.bitvector_lag_us > 0:
+                lagged = LaggedBitVector(
+                    self.layer.bitvector, self.clock,
+                    self.injector.plan.bitvector_lag_us,
+                )
+                self.layer.bitvector = lagged
+                self.manager.bitvector = lagged
         self._procs: list[_Proc] = []
         self._ran = False
+        self.idle_wait_us = 0.0
 
     # ------------------------------------------------------------------
 
@@ -181,7 +218,15 @@ class CoScheduler:
             if not runnable:
                 # Everybody is waiting on the disks: the CPU idles.
                 earliest = min(p.blocked_until for p in live)
-                clock.wait_until(earliest, TimeCategory.STALL_READ)
+                waited = clock.wait_until(earliest, TimeCategory.STALL_READ)
+                self.idle_wait_us += waited
+                if waited and self.obs is not None:
+                    # Same event the memory manager emits for its
+                    # frame-pin waits: every STALL_READ advance of a
+                    # co-scheduled run is then on the trace, which is
+                    # what makes the stall-conservation oracle exact.
+                    self.obs.emit(clock.now, TraceKind.STALL_FRAME_WAIT,
+                                  -1, 1, waited, tag="scheduler")
                 runnable = [p for p in live if p.blocked_until <= clock.now]
 
             # Round-robin among the runnable processes.
@@ -222,6 +267,7 @@ class CoScheduler:
             processes=[p.result for p in procs],
             stats=self.stats,
             times=TimeBreakdown.from_clock(clock),
+            idle_wait_us=self.idle_wait_us,
         )
         self.stats.elapsed_us = clock.now
         self.stats.times = result.times

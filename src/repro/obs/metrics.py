@@ -314,3 +314,18 @@ SERVE_METRIC_NAMES: tuple[str, ...] = (
     "serve.workers_busy",
     "serve.job_latency_us",
 )
+
+#: Operational metrics of the scenario fuzzer (``repro fuzz``; one
+#: registry per :func:`repro.fuzz.runner.run_fuzz` invocation, all
+#: instruments registered up front so artifacts always carry the full
+#: set).  Documented in the "Fuzz metric reference" table of
+#: docs/robustness.md, which ``scripts/check_docs.py`` cross-checks
+#: against this list.
+FUZZ_METRIC_NAMES: tuple[str, ...] = (
+    "fuzz.scenarios",
+    "fuzz.runs",
+    "fuzz.oracle_checks",
+    "fuzz.violations",
+    "fuzz.corpus_replayed",
+    "fuzz.wall_s",
+)

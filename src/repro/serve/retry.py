@@ -5,17 +5,18 @@ The farm retries failed jobs with capped exponential backoff plus
 ``[d * (1 - jitter), d]`` where ``d = min(cap, base * multiplier**(n-1))``.
 Jitter de-synchronizes retry storms (every quarantine-bound poison job
 would otherwise hammer the queue in lockstep), and drawing it from a
-``random.Random`` seeded by ``(seed, job_id, attempt)`` keeps the whole
-schedule a pure function of its inputs: the unit tests assert the exact
-delays, and two farms with the same seed replay the same backoff.
+stream derived by :func:`repro.seeding.derive_rng` from
+``(seed, job_id, attempt)`` keeps the whole schedule a pure function of
+its inputs: the unit tests assert the exact delays, and two farms with
+the same seed replay the same backoff.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.seeding import derive_rng
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,7 @@ class RetryPolicy:
         raw = self.raw_delay_s(attempt)
         if self.jitter == 0.0:
             return raw
-        rng = random.Random(f"{self.seed}:{job_id}:{attempt}")
+        rng = derive_rng(self.seed, job_id, attempt)
         return raw * (1.0 - self.jitter * rng.random())
 
     def schedule(self, job_id: str, attempts: int) -> list[float]:

@@ -168,6 +168,13 @@ class MemoryManager:
                     self.frames.unreserve(give_back)
                 continue
             for _ in range(delta):
+                if self.frames.reserved >= self.frames.total_frames - 1:
+                    # Oversized claim (fuzz-found): a competitor may take
+                    # everything but the application's last frame, or a
+                    # later fault has no frame and nothing to evict.  Like
+                    # the nothing-evictable case below, the competitor
+                    # simply gets less than it asked for.
+                    break
                 if self.frames.reserve_fresh():
                     continue
                 stolen = self.frames.steal_from_freelist()

@@ -1,0 +1,35 @@
+"""Replay every committed regression-corpus entry (tests/corpus/).
+
+Each file is a shrunk scenario from a real finding (or a hand-written
+witness of a tuned envelope), committed *after* the underlying bug was
+fixed -- so every entry must replay green, deterministically, forever.
+A red entry here means a fixed bug came back; ``repro fuzz replay
+FILE`` reproduces it interactively.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import corpus_files, load_entry, replay_entry
+from repro.fuzz.oracles import ORACLE_NAMES
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = corpus_files(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+def test_entry_names_a_known_oracle(path):
+    _scenario, oracle = load_entry(path)
+    assert oracle in ORACLE_NAMES
+    assert path.name.startswith(f"{oracle}-")
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.name)
+def test_entry_replays_green(path):
+    replay_entry(path)
