@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Twelve authoritative reference tables are checked:
+Sixteen authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -27,7 +27,16 @@ Twelve authoritative reference tables are checked:
 * **Oracle reference** (docs/robustness.md) -- one row per name in
   ``repro.fuzz.oracles.ORACLE_NAMES``;
 * **Fuzz metric reference** (docs/robustness.md) -- one row per name in
-  ``FUZZ_METRIC_NAMES``.
+  ``FUZZ_METRIC_NAMES``;
+* **SLO rule schema reference** (docs/observability.md) -- one row per
+  field of ``repro.obs.telemetry.SloRule``;
+* **SLO metric reference** (docs/observability.md) -- one row per name
+  in ``SLO_METRIC_NAMES``;
+* **Telemetry metric reference** (docs/observability.md) -- one row per
+  name in ``TELEMETRY_METRIC_NAMES``;
+* **Farm timeline reference** (docs/observability.md) -- one row per
+  name in ``FARM_SPAN_NAMES`` + ``FARM_INSTANT_NAMES`` +
+  ``FARM_COUNTER_NAMES``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -173,6 +182,33 @@ def documented_fuzz_tokens(doc_path: Path = ROBUSTNESS_DOC_PATH) -> dict[str, se
     return tokens
 
 
+def documented_telemetry_tokens(doc_path: Path = DOC_PATH) -> dict[str, set[str]]:
+    """First-column tokens of the observability doc's four farm tables.
+
+    The telemetry tables live under ``###`` headings inside the Farm
+    telemetry section, so the body of each runs to the next heading of
+    *either* level.
+    """
+    doc = doc_path.read_text()
+    tokens: dict[str, set[str]] = {}
+    for heading, bucket in (("### SLO rule schema reference", "slo_fields"),
+                            ("### SLO metric reference", "slo_metrics"),
+                            ("### Telemetry metric reference", "telemetry_metrics"),
+                            ("### Farm timeline reference", "farm_timeline")):
+        if heading not in doc:
+            raise SystemExit(f"{doc_path}: missing section {heading!r}")
+        start = doc.index(heading) + len(heading)
+        rest = doc[start:]
+        next_heading = re.search(r"^#{2,3} ", rest, flags=re.MULTILINE)
+        body = rest[: next_heading.start()] if next_heading else rest
+        tokens[bucket] = set()
+        for line in body.splitlines():
+            match = _ROW_TOKEN.match(line.strip())
+            if match:
+                tokens[bucket].add(match.group(1))
+    return tokens
+
+
 def plan_fields_in_code() -> set[str]:
     """Every fault-plan dataclass field, named as the doc table names it."""
     import dataclasses
@@ -201,14 +237,22 @@ def check(
     from repro.fuzz.strategies import STRATEGY_NAMES
     from repro.harness.bench import BENCH_PROFILES
     from repro.obs.attrib import STALL_CAUSES
+    from repro.obs.export import (
+        FARM_COUNTER_NAMES,
+        FARM_INSTANT_NAMES,
+        FARM_SPAN_NAMES,
+    )
     from repro.obs.metrics import (
         CKPT_METRIC_NAMES,
         FUZZ_METRIC_NAMES,
         OBS_METRIC_NAMES,
         RUN_METRIC_NAMES,
         SERVE_METRIC_NAMES,
+        SLO_METRIC_NAMES,
+        TELEMETRY_METRIC_NAMES,
     )
     from repro.obs.spans import SpanState
+    from repro.obs.telemetry import SloRule
     from repro.obs.trace import TraceKind
     from repro.serve.jobspec import JobSpec
 
@@ -279,6 +323,23 @@ def check(
             problems.append(
                 f"{label} {stale!r} is documented but not in code")
 
+    telemetry_doc = documented_telemetry_tokens(doc_path)
+    farm_timeline_names = (set(FARM_SPAN_NAMES) | set(FARM_INSTANT_NAMES)
+                           | set(FARM_COUNTER_NAMES))
+    for bucket, label, code_tokens in (
+        ("slo_fields", "SLO rule field",
+         {f.name for f in dataclasses.fields(SloRule)}),
+        ("slo_metrics", "SLO metric", set(SLO_METRIC_NAMES)),
+        ("telemetry_metrics", "telemetry metric", set(TELEMETRY_METRIC_NAMES)),
+        ("farm_timeline", "farm timeline name", farm_timeline_names),
+    ):
+        for missing in sorted(code_tokens - telemetry_doc[bucket]):
+            problems.append(
+                f"{label} {missing!r} is in code but not documented")
+        for stale in sorted(telemetry_doc[bucket] - code_tokens):
+            problems.append(
+                f"{label} {stale!r} is documented but not in code")
+
     if len(set(RUN_METRIC_NAMES)) != len(RUN_METRIC_NAMES):
         problems.append("RUN_METRIC_NAMES contains duplicates")
     if len(set(CKPT_METRIC_NAMES)) != len(CKPT_METRIC_NAMES):
@@ -308,6 +369,21 @@ def check(
     if overlap:
         problems.append(
             f"names in both FUZZ and other lists: {sorted(overlap)}")
+    others = (set(RUN_METRIC_NAMES) | set(OBS_METRIC_NAMES)
+              | set(CKPT_METRIC_NAMES) | set(SERVE_METRIC_NAMES)
+              | set(FUZZ_METRIC_NAMES))
+    if len(set(TELEMETRY_METRIC_NAMES)) != len(TELEMETRY_METRIC_NAMES):
+        problems.append("TELEMETRY_METRIC_NAMES contains duplicates")
+    if len(set(SLO_METRIC_NAMES)) != len(SLO_METRIC_NAMES):
+        problems.append("SLO_METRIC_NAMES contains duplicates")
+    overlap = (set(TELEMETRY_METRIC_NAMES) | set(SLO_METRIC_NAMES)) & others
+    if overlap:
+        problems.append(
+            f"names in both TELEMETRY/SLO and other lists: {sorted(overlap)}")
+    overlap = set(TELEMETRY_METRIC_NAMES) & set(SLO_METRIC_NAMES)
+    if overlap:
+        problems.append(
+            f"names in both TELEMETRY and SLO lists: {sorted(overlap)}")
     return problems
 
 
@@ -320,6 +396,7 @@ def main() -> int:
     tokens = documented_tokens()
     serve_tokens = documented_serve_tokens()
     fuzz_tokens = documented_fuzz_tokens()
+    telemetry_tokens = documented_telemetry_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
           f"{len(tokens['metrics'])} metrics, "
           f"{len(tokens['span_states'])} span states, "
@@ -331,7 +408,12 @@ def main() -> int:
           f"{len(serve_tokens['serve_metrics'])} serve metrics, "
           f"{len(fuzz_tokens['strategies'])} fuzz strategies, "
           f"{len(fuzz_tokens['oracles'])} fuzz oracles, "
-          f"{len(fuzz_tokens['fuzz_metrics'])} fuzz metrics in sync)")
+          f"{len(fuzz_tokens['fuzz_metrics'])} fuzz metrics, "
+          f"{len(telemetry_tokens['slo_fields'])} SLO rule fields, "
+          f"{len(telemetry_tokens['slo_metrics'])} SLO metrics, "
+          f"{len(telemetry_tokens['telemetry_metrics'])} telemetry metrics, "
+          f"{len(telemetry_tokens['farm_timeline'])} farm timeline names "
+          "in sync)")
     return 0
 
 

@@ -15,6 +15,7 @@
     python -m repro bench --smoke             # perf-trajectory benchmark
     python -m repro chaos EMBAR --quick       # fault-injection sweep
     python -m repro serve submit --demo 20    # supervised job farm
+    python -m repro top --workdir farm        # live farm dashboard
     python -m repro fuzz --profile smoke      # metamorphic fuzz campaign
     python -m repro fuzz replay FILE          # re-run one corpus finding
 
@@ -36,8 +37,13 @@ with exit code 3 and a resume hint; see docs/robustness.md.
 
 ``serve`` runs batches of jobs on a supervised multiprocess worker
 farm with heartbeats, retry/backoff, checkpoint-driven preemption, and
-load shedding; see docs/serving.md.  Exit codes across all commands
-follow :class:`repro.errors.ExitCode`.
+load shedding; see docs/serving.md.  Farm telemetry (on by default)
+folds worker metric deltas into per-tenant rollups, evaluates SLO
+rules (``--slo FILE``, ``--slo-out FILE``), and can merge per-job
+traces into one Perfetto timeline (``--farm-trace FILE``); ``top``
+renders the live ``workdir/telemetry.json`` snapshot and ``serve
+status --telemetry`` the archived summary (see docs/observability.md).
+Exit codes across all commands follow :class:`repro.errors.ExitCode`.
 
 ``fuzz`` runs a seeded property-based campaign over the whole stack:
 random scenarios per metamorphic oracle family, shrunk findings
@@ -49,6 +55,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.apps.registry import ALL_APPS, get_app, table2_rows
@@ -734,6 +741,7 @@ def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
     import tempfile
 
     from repro.faults.farm import default_farm_plan, load_farm_plan
+    from repro.obs.telemetry import TelemetryConfig, load_slo_rules
     from repro.serve import FarmConfig, JobState, RetryPolicy, run_farm
 
     chaos = None
@@ -743,6 +751,13 @@ def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
         chaos = default_farm_plan(kills=args.chaos_kills,
                                   stalls=args.chaos_stalls,
                                   delay_s=args.chaos_delay)
+    telemetry = TelemetryConfig(
+        enabled=not args.no_telemetry,
+        flush_every_s=args.telemetry_every,
+        trace_out=args.farm_trace,
+        slo_rules=load_slo_rules(args.slo) if args.slo else None,
+        slo_out=args.slo_out,
+    )
     config = FarmConfig(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -751,6 +766,7 @@ def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
         retry=RetryPolicy(seed=args.seed),
         preemption=not args.no_preemption,
         max_wall_s=args.max_wall,
+        telemetry=telemetry,
     )
     tmp = None
     workdir = args.workdir
@@ -781,8 +797,53 @@ def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
         write_metrics_json(args.metrics_out, report.metrics)
         print(f"metrics: {args.metrics_out} "
               f"({len(report.metrics)} instruments)")
+    if report.telemetry and report.telemetry.get("enabled"):
+        _render_telemetry_summary(report.telemetry)
+        if tmp is None:
+            print(f"telemetry snapshot: {report.telemetry['snapshot']}")
+        if report.telemetry.get("trace_out"):
+            print(f"farm timeline: {report.telemetry['trace_out']}")
     all_done = all(job["state"] == "done" for job in payload["jobs"])
     return ExitCode.OK if all_done else ExitCode.JOB_FAILED
+
+
+def _render_telemetry_summary(telemetry: dict) -> None:
+    """The per-tenant table and SLO verdict of a telemetry summary."""
+    tenants = telemetry.get("tenants") or {}
+    if tenants:
+        rows = []
+        for tenant in sorted(tenants):
+            row = tenants[tenant]
+            rows.append([
+                tenant, row.get("jobs", 0), row.get("done", 0),
+                row.get("failed_attempts", 0),
+                _us(row.get("stall_p50_us")), _us(row.get("stall_p95_us")),
+                _us(row.get("stall_p99_us")), _us(row.get("latency_p99_us")),
+            ])
+        print(render_table(
+            ["tenant", "jobs", "done", "failed", "stall p50", "stall p95",
+             "stall p99", "latency p99"],
+            rows, title=f"tenants (trace {telemetry.get('trace_id', '?')})",
+        ))
+    verdict = telemetry.get("slo")
+    if verdict:
+        status = "OK" if verdict.get("ok") else "VIOLATED"
+        broken = [r["name"] for r in verdict.get("rules", []) if not r["ok"]]
+        line = f"SLO: {status} ({verdict.get('rules_total', 0)} rules"
+        if broken:
+            line += f"; violated: {', '.join(broken)}"
+        print(line + ")")
+
+
+def _us(value) -> str:
+    """Microseconds, humanized for the tenant table."""
+    if value is None:
+        return "-"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} s"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f} ms"
+    return f"{value:.0f} us"
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -805,6 +866,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         payload = _load_serve_results(results)
         if args.verb == "status":
             _render_serve_report(payload, f"results: {results}")
+            if args.telemetry:
+                telemetry = payload.get("telemetry")
+                if telemetry and telemetry.get("enabled"):
+                    _render_telemetry_summary(telemetry)
+                else:
+                    print("no telemetry in this results file "
+                          "(ran with --no-telemetry?)")
             all_done = all(job["state"] == "done" for job in payload["jobs"])
             return ExitCode.OK if all_done else ExitCode.JOB_FAILED
         # drain: re-run everything that did not finish, keep what did.
@@ -819,6 +887,97 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return ExitCode.USAGE
+
+
+def _load_snapshot(path: str) -> dict | None:
+    import json
+
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or "farm" not in payload:
+        return None
+    return payload
+
+
+def _render_top(snap: dict) -> list[str]:
+    """The ``repro top`` screen for one telemetry snapshot."""
+    farm = snap.get("farm", {})
+    lines = [
+        f"repro top - farm {snap.get('trace_id', '?')} "
+        f"[{snap.get('state', '?')}] updated {snap.get('updated_s', 0):.1f}s "
+        f"after start",
+        f"jobs {farm.get('jobs', 0)}: {farm.get('done', 0)} done, "
+        f"{farm.get('running', 0)} running, {farm.get('pending', 0)} pending, "
+        f"{farm.get('quarantined', 0)} quarantined, {farm.get('shed', 0)} shed"
+        f" | queue {farm.get('queue_depth', 0)}"
+        f" | workers {farm.get('workers_busy', 0)}/{farm.get('workers', '?')}"
+        f" busy | deltas folded {farm.get('jobs_folded', 0)}",
+    ]
+    verdict = snap.get("slo") or {}
+    status = "OK" if verdict.get("ok") else "VIOLATED"
+    broken = [r["name"] for r in verdict.get("rules", []) if not r.get("ok")]
+    slo_line = (f"SLO: {status} ({verdict.get('rules_total', 0)} rules, "
+                f"{verdict.get('evaluations', 0)} evaluations")
+    if broken:
+        slo_line += f"; violated: {', '.join(broken)}"
+    lines.append(slo_line + ")")
+    quantiles = snap.get("quantiles") or {}
+    rows = [[name, q.get("count", 0), _us(q.get("p50")), _us(q.get("p95")),
+             _us(q.get("p99"))]
+            for name, q in sorted(quantiles.items())]
+    if rows:
+        lines.append(render_table(
+            ["histogram", "n", "p50", "p95", "p99"], rows,
+            title="farm distributions"))
+    tenants = snap.get("tenants") or {}
+    rows = [[tenant, row.get("jobs", 0), row.get("done", 0),
+             row.get("failed_attempts", 0), _us(row.get("stall_p99_us")),
+             _us(row.get("latency_p99_us"))]
+            for tenant, row in sorted(tenants.items())]
+    if rows:
+        lines.append(render_table(
+            ["tenant", "jobs", "done", "failed", "stall p99", "latency p99"],
+            rows, title="tenants"))
+    return lines
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live farm dashboard over the telemetry.json snapshot."""
+    import json
+    import time as _time
+
+    path = args.snapshot or str(Path(args.workdir) / "telemetry.json")
+    if args.once:
+        snap = _load_snapshot(path)
+        if snap is None:
+            print(f"error: no telemetry snapshot at {path} "
+                  f"(is a farm running with --workdir and telemetry on?)",
+                  file=sys.stderr)
+            return ExitCode.FAILURE
+        if args.json:
+            print(json.dumps(snap, indent=1, sort_keys=True))
+        else:
+            print("\n".join(_render_top(snap)))
+        return ExitCode.OK
+    # Live mode: refresh until interrupted (the snapshot keeps its
+    # terminal "final" state after the farm drains, so the last screen
+    # sticks around to read).
+    try:
+        while True:
+            snap = _load_snapshot(path)
+            sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
+            if snap is None:
+                print(f"waiting for telemetry snapshot at {path} ...")
+            else:
+                print("\n".join(_render_top(snap)))
+                print(f"\n[refresh {args.interval:g}s - ctrl-c to quit]")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return ExitCode.OK
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -1139,10 +1298,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-preemption", action="store_true",
                    help="never kill a running job for a higher-priority one")
     p.add_argument("--workdir", default=None, metavar="DIR",
-                   help="keep per-job checkpoints and attempt results "
-                        "under DIR (default: a temp dir, deleted)")
+                   help="keep per-job checkpoints, attempt results, and "
+                        "the live telemetry snapshot under DIR "
+                        "(default: a temp dir, deleted)")
     p.add_argument("--seed", type=int, default=1,
                    help="demo-batch / retry-jitter seed (default 1)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable farm telemetry (worker metric deltas, "
+                        "SLO evaluation, telemetry.json snapshots)")
+    p.add_argument("--telemetry-every", type=float, default=0.5, metavar="S",
+                   help="telemetry flush/snapshot/SLO cadence "
+                        "(default 0.5 s)")
+    p.add_argument("--farm-trace", metavar="FILE", default=None,
+                   help="write the merged Perfetto farm timeline here "
+                        "(controller spans + per-job traces)")
+    p.add_argument("--slo", metavar="FILE", default=None,
+                   help="SLO rules JSON replacing the defaults "
+                        "(schema in docs/observability.md)")
+    p.add_argument("--slo-out", metavar="FILE", default=None,
+                   help="SLO verdict artifact path "
+                        "(default: WORKDIR/slo_verdict.json)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="status: also render the archived telemetry "
+                        "summary (tenants + SLO verdict)")
+
+    p = sub.add_parser(
+        "top",
+        help="live farm dashboard (reads WORKDIR/telemetry.json)",
+        description="Render the farm's atomically updated telemetry "
+                    "snapshot: job/queue/worker state, histogram "
+                    "quantiles, per-tenant p99 stall, and SLO status. "
+                    "Default is a live refresh loop; --once prints one "
+                    "screen (--json for scripts) and exits 1 when no "
+                    "snapshot exists (see docs/observability.md).",
+    )
+    p.add_argument("--workdir", default=".", metavar="DIR",
+                   help="the farm's --workdir (default: .)")
+    p.add_argument("--snapshot", default=None, metavar="FILE",
+                   help="read this snapshot file instead of "
+                        "WORKDIR/telemetry.json")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh cadence of the live view (default 1 s)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit")
+    p.add_argument("--json", action="store_true",
+                   help="with --once: print the raw snapshot JSON")
 
     p = sub.add_parser(
         "fuzz",
@@ -1192,6 +1392,7 @@ COMMANDS = {
     "bench": cmd_bench,
     "chaos": cmd_chaos,
     "serve": cmd_serve,
+    "top": cmd_top,
     "fuzz": cmd_fuzz,
 }
 

@@ -33,7 +33,11 @@ from repro.obs.attrib import (
     classify,
 )
 from repro.obs.export import (
+    FARM_COUNTER_NAMES,
+    FARM_INSTANT_NAMES,
+    FARM_SPAN_NAMES,
     chrome_trace,
+    merge_chrome_traces,
     metrics_json,
     validate_chrome_trace,
     write_chrome_trace,
@@ -46,6 +50,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     OBS_METRIC_NAMES,
     RUN_METRIC_NAMES,
+    SLO_METRIC_NAMES,
+    TELEMETRY_METRIC_NAMES,
+    base_name,
+    labeled_name,
+)
+from repro.obs.telemetry import (
+    FarmTelemetry,
+    SloEngine,
+    SloRule,
+    TelemetryAggregator,
+    TelemetryConfig,
+    default_slo_rules,
+    load_slo_rules,
 )
 from repro.obs.observer import Observer
 from repro.obs.spans import Span, SpanBuilder, SpanState, StallRecord
@@ -70,9 +87,24 @@ __all__ = [
     "Histogram",
     "RUN_METRIC_NAMES",
     "OBS_METRIC_NAMES",
+    "SLO_METRIC_NAMES",
+    "TELEMETRY_METRIC_NAMES",
+    "FARM_SPAN_NAMES",
+    "FARM_INSTANT_NAMES",
+    "FARM_COUNTER_NAMES",
+    "labeled_name",
+    "base_name",
     "chrome_trace",
+    "merge_chrome_traces",
     "write_chrome_trace",
     "validate_chrome_trace",
     "metrics_json",
     "write_metrics_json",
+    "FarmTelemetry",
+    "TelemetryAggregator",
+    "TelemetryConfig",
+    "SloRule",
+    "SloEngine",
+    "default_slo_rules",
+    "load_slo_rules",
 ]

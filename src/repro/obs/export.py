@@ -116,11 +116,48 @@ def write_chrome_trace(
                       indent=1, sort_keys=False)
 
 
+#: Controller-side duration spans ("X" phase) of the farm timeline: the
+#: time a job sat in the admission queue and the span of each attempt on
+#: a worker lane.  ``scripts/check_docs.py`` cross-checks this list (and
+#: the two below) against the "Farm timeline reference" table of
+#: docs/observability.md.
+FARM_SPAN_NAMES: tuple[str, ...] = (
+    "queued",
+    "running",
+)
+
+#: Controller-side instant events ("i" phase) of the farm timeline.
+#: Unlike simulator events these carry free-form args (job_id, attempt,
+#: tenant, rule, ...), so the validator only requires an args object.
+FARM_INSTANT_NAMES: tuple[str, ...] = (
+    "dispatch",
+    "done",
+    "failed",
+    "retry",
+    "preempted",
+    "shed",
+    "quarantined",
+    "worker_kill",
+    "worker_stall",
+    "worker_died",
+    "deadline",
+    "heartbeat_epoch",
+    "slo_violation",
+)
+
+#: Counter tracks ("C" phase) the farm recorder samples each poll tick.
+FARM_COUNTER_NAMES: tuple[str, ...] = (
+    "farm_queue_depth",
+    "farm_workers_busy",
+)
+
 #: Phases and fields the validator accepts / requires.
-_VALID_PHASES = {"i", "C", "M"}
+_VALID_PHASES = {"i", "C", "M", "X"}
 _VALID_KINDS = {kind.value for kind in TraceKind}
-_COUNTER_NAMES = {"disk_queue_delay_us"}
+_COUNTER_NAMES = {"disk_queue_delay_us"} | set(FARM_COUNTER_NAMES)
 _META_NAMES = {"process_name", "thread_name"}
+_FARM_INSTANTS = set(FARM_INSTANT_NAMES)
+_FARM_SPANS = set(FARM_SPAN_NAMES)
 
 
 def validate_chrome_trace(obj: Any) -> list[str]:
@@ -159,7 +196,28 @@ def validate_chrome_trace(obj: Any) -> list[str]:
             if name not in _COUNTER_NAMES:
                 problems.append(f"{where}: unknown counter {name!r}")
             continue
-        # phase == "i": one simulator event.
+        if phase == "X":
+            # Farm-timeline duration span (queued / running lanes).
+            if name not in _FARM_SPANS:
+                problems.append(f"{where}: unknown span {name!r}")
+                continue
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: span missing non-negative 'dur'")
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: missing 'args'")
+            if ev["ts"] < last_ts:
+                problems.append(f"{where}: timestamps not monotonic")
+            last_ts = ev["ts"]
+            continue
+        # phase == "i": one simulator or farm-controller event.
+        if name in _FARM_INSTANTS:
+            if not isinstance(ev.get("args"), dict):
+                problems.append(f"{where}: missing 'args'")
+            if ev["ts"] < last_ts:
+                problems.append(f"{where}: timestamps not monotonic")
+            last_ts = ev["ts"]
+            continue
         if name not in _VALID_KINDS:
             problems.append(f"{where}: unknown event kind {name!r}")
             continue
@@ -175,6 +233,57 @@ def validate_chrome_trace(obj: Any) -> list[str]:
             problems.append(f"{where}: timestamps not monotonic")
         last_ts = ev["ts"]
     return problems
+
+
+def merge_chrome_traces(segments: "list[dict[str, Any]]") -> dict[str, Any]:
+    """Merge per-process trace objects into one farm timeline.
+
+    ``segments`` is a list of ``{"name", "trace", "offset_us"}`` dicts:
+    the process name shown in Perfetto, a trace object in the exporter's
+    own format, and the wall-clock offset (microseconds) at which that
+    segment's local clock started.  Per-job simulator traces run on
+    simulated time, so their offset is the dispatch time of the attempt
+    -- the merged view lines each job's internal activity up under the
+    controller span that scheduled it.
+
+    Each segment becomes its own pid; event timestamps are shifted by
+    the segment offset and the merged stream is re-sorted so the result
+    still passes :func:`validate_chrome_trace`.
+    """
+    meta: list[dict[str, Any]] = []
+    body: list[dict[str, Any]] = []
+    emitted = 0
+    dropped = 0
+    names: list[str] = []
+    for pid, segment in enumerate(segments):
+        name = segment["name"]
+        trace = segment["trace"]
+        offset = float(segment.get("offset_us", 0.0))
+        names.append(name)
+        for ev in trace.get("traceEvents", []):
+            ev = dict(ev)
+            ev["pid"] = pid
+            if ev.get("ph") == "M":
+                if ev.get("name") == "process_name":
+                    ev["args"] = {"name": name}
+                meta.append(ev)
+            else:
+                if "ts" in ev:
+                    ev["ts"] = ev["ts"] + offset
+                body.append(ev)
+        other = trace.get("otherData", {})
+        emitted += int(other.get("emitted", 0))
+        dropped += int(other.get("dropped", 0))
+    body.sort(key=lambda ev: ev.get("ts", 0.0))
+    return {
+        "traceEvents": meta + body,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "segments": names,
+            "emitted": emitted,
+            "dropped": dropped,
+        },
+    }
 
 
 def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:

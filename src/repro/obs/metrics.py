@@ -51,8 +51,18 @@ class Counter:
             raise MachineError(f"counter {self.name} cannot decrease")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in; equals recording both streams."""
+        self.value += other.value
+
     def as_dict(self) -> dict:
         return {"kind": self.kind, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Counter":
+        counter = cls(name)
+        counter.value = float(payload["value"])
+        return counter
 
 
 class Gauge:
@@ -80,9 +90,33 @@ class Gauge:
             if value > self.max:
                 self.max = value
 
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: the other side's sets happened after
+        ours, so its value wins while min/max union both streams."""
+        if not other._seen:
+            return
+        if not self._seen:
+            self.value, self.min, self.max = other.value, other.min, other.max
+            self._seen = True
+            return
+        self.value = other.value
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def as_dict(self) -> dict:
         return {"kind": self.kind, "value": self.value,
-                "min": self.min, "max": self.max}
+                "min": self.min, "max": self.max, "seen": self._seen}
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Gauge":
+        gauge = cls(name)
+        gauge.value = float(payload["value"])
+        gauge.min = float(payload["min"])
+        gauge.max = float(payload["max"])
+        gauge._seen = bool(payload.get("seen", True))
+        return gauge
 
 
 class Histogram:
@@ -138,6 +172,22 @@ class Histogram:
                 return self.bounds[idx] if idx < len(self.bounds) else self.max
         return self.max
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in; bucket layouts must match."""
+        if self.bounds != other.bounds:
+            raise MachineError(
+                f"histogram {self.name} bounds mismatch on merge:"
+                f" {self.bounds} vs {other.bounds}"
+            )
+        for idx, n in enumerate(other.buckets):
+            self.buckets[idx] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def as_dict(self) -> dict:
         return {
             "kind": self.kind,
@@ -148,6 +198,23 @@ class Histogram:
             "bounds": list(self.bounds),
             "buckets": list(self.buckets),
         }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "Histogram":
+        histogram = cls(name, payload["bounds"])
+        buckets = [int(n) for n in payload["buckets"]]
+        if len(buckets) != len(histogram.buckets):
+            raise MachineError(
+                f"histogram {name} snapshot has {len(buckets)} buckets,"
+                f" expected {len(histogram.buckets)}"
+            )
+        histogram.buckets = buckets
+        histogram.count = int(payload["count"])
+        histogram.total = float(payload["sum"])
+        if histogram.count:
+            histogram.min = float(payload["min"])
+            histogram.max = float(payload["max"])
+        return histogram
 
 
 class MetricsRegistry:
@@ -210,6 +277,64 @@ class MetricsRegistry:
     def as_dict(self) -> dict:
         """JSON-ready snapshot of every instrument, sorted by name."""
         return {name: self._instruments[name].as_dict() for name in self.names()}
+
+    # -- cross-process folding ----------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every instrument of ``other`` into this registry.
+
+        Merging is associative and equals sequential recording: a
+        registry merged from N worker deltas carries exactly the
+        counts/buckets the workers would have produced recording into
+        one shared registry.  Same-name instruments of different kinds
+        are an error, as they are for local registration.
+        """
+        for name in other.names():
+            instrument = other._instruments[name]
+            if isinstance(instrument, Counter):
+                self.counter(name).merge(instrument)
+            elif isinstance(instrument, Gauge):
+                self.gauge(name).merge(instrument)
+            else:
+                self.histogram(name, instrument.bounds).merge(instrument)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        """Rebuild a registry from an :meth:`as_dict` snapshot."""
+        registry = cls()
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            kind = payload.get("kind")
+            if kind == Counter.kind:
+                registry._instruments[name] = Counter.from_dict(name, payload)
+            elif kind == Gauge.kind:
+                registry._instruments[name] = Gauge.from_dict(name, payload)
+            elif kind == Histogram.kind:
+                registry._instruments[name] = Histogram.from_dict(name, payload)
+            else:
+                raise MachineError(
+                    f"metric snapshot {name!r} has unknown kind {kind!r}"
+                )
+        return registry
+
+
+def labeled_name(name: str, **labels: str) -> str:
+    """The canonical labeled-child spelling: ``name{k=v,...}``.
+
+    Label keys are sorted so the same label set always produces the
+    same registry name.  Used by the farm rollup to keep per-state and
+    per-tenant dimensions alongside the unlabeled family.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def base_name(name: str) -> str:
+    """Strip a ``{...}`` label suffix, if any."""
+    brace = name.find("{")
+    return name if brace < 0 else name[:brace]
 
 
 #: Every metric name ``RunStats.publish`` registers, in publish order.
@@ -328,4 +453,32 @@ FUZZ_METRIC_NAMES: tuple[str, ...] = (
     "fuzz.violations",
     "fuzz.corpus_replayed",
     "fuzz.wall_s",
+)
+
+#: Operational metrics of the farm telemetry pipeline itself
+#: (:class:`repro.obs.telemetry.FarmTelemetry`; registered up front in
+#: the telemetry registry so snapshots always carry the full set).
+#: Documented in the "Telemetry metric reference" table of
+#: docs/observability.md, which ``scripts/check_docs.py`` cross-checks
+#: against this list.
+TELEMETRY_METRIC_NAMES: tuple[str, ...] = (
+    "telemetry.deltas_folded",
+    "telemetry.partial_flushes",
+    "telemetry.snapshot_writes",
+    "telemetry.spans",
+    "telemetry.instants",
+    "telemetry.trace_events",
+    "telemetry.instruments",
+    "telemetry.tenants",
+)
+
+#: Metrics the SLO engine emits about its own evaluations (registered
+#: up front alongside the telemetry family).  Documented in the "SLO
+#: metric reference" table of docs/observability.md, which
+#: ``scripts/check_docs.py`` cross-checks against this list.
+SLO_METRIC_NAMES: tuple[str, ...] = (
+    "slo.rules",
+    "slo.evaluations",
+    "slo.checks",
+    "slo.violations",
 )

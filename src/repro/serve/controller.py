@@ -37,7 +37,8 @@ from typing import Any, Sequence
 
 from repro.errors import ConfigError
 from repro.faults.farm import FarmChaosPlan
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, labeled_name
+from repro.obs.telemetry import FarmTelemetry, TelemetryConfig
 from repro.serve.jobspec import JobRecord, JobSpec, JobState
 from repro.serve.queue import AdmissionQueue
 from repro.serve.retry import RetryPolicy
@@ -66,6 +67,8 @@ class FarmConfig:
     #: Farm-wide drain deadline (None = unbounded).  On expiry every
     #: outstanding job is quarantined -- the "never hung" backstop.
     max_wall_s: float | None = None
+    #: Farm telemetry: aggregation, tracing, SLOs (docs/observability.md).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -85,6 +88,9 @@ class FarmReport:
     records: list[JobRecord]
     metrics: MetricsRegistry
     wall_s: float
+    #: :meth:`repro.obs.telemetry.FarmTelemetry.finalize` summary (per-
+    #: tenant rollups, SLO verdict, artifact paths).
+    telemetry: dict[str, Any] | None = None
 
     def counts(self) -> dict[str, int]:
         counts = {state: 0 for state in
@@ -123,6 +129,7 @@ class FarmReport:
             },
             "jobs": [record.to_dict() for record in self.records],
             "metrics": self.metrics.as_dict(),
+            "telemetry": self.telemetry,
         }
 
 
@@ -139,12 +146,6 @@ class Farm:
         self.ckpt_root.mkdir(parents=True, exist_ok=True)
         self.chaos = chaos
         self.queue = AdmissionQueue(config.queue_depth)
-        self.pool = WorkerPool(
-            config.workers, self.results_dir, self.ckpt_root,
-            hb_interval_s=config.hb_interval_s,
-            hb_timeout_s=config.hb_timeout_s,
-            checkpoint_every_us=config.checkpoint_every_us,
-        )
         self.records: list[JobRecord] = []
         self._seq = 0
         self._starts = 0
@@ -161,6 +162,17 @@ class Farm:
                 self.metrics.gauge(name).set(0.0)
             else:
                 self.metrics.counter(name)
+        self.telemetry = FarmTelemetry(
+            config.telemetry, self.workdir, config.workers, self.metrics,
+            state_fn=self._state_summary,
+        )
+        self.pool = WorkerPool(
+            config.workers, self.results_dir, self.ckpt_root,
+            hb_interval_s=config.hb_interval_s,
+            hb_timeout_s=config.hb_timeout_s,
+            checkpoint_every_us=config.checkpoint_every_us,
+            telemetry=self.telemetry.worker_args(),
+        )
 
     # ------------------------------------------------------------------
     # Admission
@@ -177,6 +189,7 @@ class Farm:
             record = JobRecord(spec=spec, submitted_at=now, seq=self._seq)
             self.records.append(record)
             self.metrics.counter("serve.jobs_submitted").inc()
+            self.telemetry.on_submit(record, now)
             if self.queue.offer(record):
                 admitted.append(record)
             for shed in self.queue.shed:
@@ -201,9 +214,19 @@ class Farm:
             self.metrics.counter("serve.jobs_quarantined").inc()
         else:
             self.metrics.counter("serve.jobs_shed").inc()
-        self.metrics.histogram(
-            "serve.job_latency_us", bounds=JOB_LATENCY_BOUNDS_US
-        ).observe(max(0.0, record.latency_s) * 1e6)
+        latency_us = max(0.0, record.latency_s) * 1e6
+        # Every terminal state lands in the base family plus its
+        # per-state and per-tenant labeled children, so shed and
+        # quarantined jobs are visible in the latency distribution and
+        # tenants get their own tail (docs/observability.md).
+        for name in (
+            "serve.job_latency_us",
+            labeled_name("serve.job_latency_us", state=state),
+            labeled_name("serve.job_latency_us", tenant=record.spec.tenant),
+        ):
+            self.metrics.histogram(
+                name, bounds=JOB_LATENCY_BOUNDS_US).observe(latency_us)
+        self.telemetry.on_terminal(record, state, record.finished_at)
         if all(r.terminal for r in self.records):
             self._drained.set()
 
@@ -226,6 +249,7 @@ class Farm:
         record.eligible_at = now + delay
         record.retries += 1
         self.metrics.counter("serve.retries").inc()
+        self.telemetry.on_attempt_failed(record, reason, now)
         self.queue.requeue(record)
 
     # ------------------------------------------------------------------
@@ -254,6 +278,7 @@ class Farm:
         if state == "done":
             record.result = payload.get("result")
             record.worker = payload.get("worker")
+            self.telemetry.on_result(record, payload)
             self._finish(record, JobState.DONE)
         elif state == "crashed":
             # Planned in-simulation crash: retry resumes past it via the
@@ -274,6 +299,7 @@ class Farm:
             for handle in self.pool.busy_workers():
                 self._consume_result(handle)
             self._update_gauges()
+            self.telemetry.poll(time.monotonic())
             await asyncio.sleep(self.config.poll_s)
 
     async def _supervise_loop(self) -> None:
@@ -290,12 +316,15 @@ class Farm:
                     self.metrics.counter(
                         "serve.worker_kills" if op == "kill"
                         else "serve.worker_stalls").inc()
+                    self.telemetry.on_strike(handle.worker_id, op, now)
             # Convert every detected worker failure into respawn + retry.
             for handle, kind, detail in self.pool.failed_workers(now):
                 if kind == "stalled":
                     self.metrics.counter("serve.heartbeat_timeouts").inc()
                 elif kind == "deadline":
                     self.metrics.counter("serve.deadline_timeouts").inc()
+                self.telemetry.on_worker_failed(
+                    handle.worker_id, kind, detail, now)
                 # The worker may have finished the job and died after
                 # writing its result; believe the file over the corpse.
                 self._consume_result(handle)
@@ -342,6 +371,7 @@ class Farm:
         job.preemptions += 1
         job.worker = None
         self.metrics.counter("serve.preemptions").inc()
+        self.telemetry.on_preempt(job, now)
         self.queue.requeue(job)
 
     def _dispatch(self, handle: WorkerHandle, record: JobRecord,
@@ -360,16 +390,39 @@ class Farm:
             fault = self.chaos.for_start(self._starts)
             if fault is not None:
                 handle.strikes.append((now + fault.delay_s, fault.op))
+        self.telemetry.on_dispatch(record, handle.worker_id, now)
         handle.inbox.put({
             "spec": record.spec.to_dict(),
             "attempt": record.attempts,
             "resume": record.resume,
+            **self.telemetry.dispatch_context(record.spec.job_id,
+                                              record.attempts),
         })
 
     def _update_gauges(self) -> None:
         self.metrics.gauge("serve.queue_depth").set(float(len(self.queue)))
         self.metrics.gauge("serve.workers_busy").set(
             float(len(self.pool.busy_workers())))
+
+    def _state_summary(self) -> dict[str, Any]:
+        """Live farm state for telemetry snapshots and ``repro top``."""
+        counts = {JobState.DONE: 0, JobState.QUARANTINED: 0,
+                  JobState.SHED: 0, JobState.RUNNING: 0, JobState.PENDING: 0}
+        for record in self.records:
+            counts[record.state] = counts.get(record.state, 0) + 1
+        now = time.monotonic()
+        return {
+            "jobs": len(self.records),
+            "done": counts[JobState.DONE],
+            "quarantined": counts[JobState.QUARANTINED],
+            "shed": counts[JobState.SHED],
+            "running": counts[JobState.RUNNING],
+            "pending": counts[JobState.PENDING],
+            "queue_depth": len(self.queue),
+            "workers_busy": len(self.pool.busy_workers()),
+            "hb_age_s": {h.worker_id: self.pool.heartbeat_age(h, now)
+                         for h in self.pool.busy_workers()},
+        }
 
     # ------------------------------------------------------------------
     # Entry point
@@ -402,8 +455,10 @@ class Farm:
                 task.cancel()
             await asyncio.gather(*tasks, return_exceptions=True)
             self.pool.shutdown()
+        telemetry = self.telemetry.finalize(time.monotonic())
         return FarmReport(records=self.records, metrics=self.metrics,
-                          wall_s=time.monotonic() - started)
+                          wall_s=time.monotonic() - started,
+                          telemetry=telemetry)
 
     def _quarantine_outstanding(self, reason: str) -> None:
         for handle in self.pool.busy_workers():

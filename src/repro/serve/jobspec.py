@@ -83,6 +83,9 @@ class JobSpec:
     priority: int = 0
     timeout_s: float = 120.0
     max_attempts: int = 3
+    #: Accounting dimension for farm telemetry (per-tenant rollups and
+    #: tail-latency reporting); never influences scheduling.
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -117,6 +120,12 @@ class JobSpec:
             raise ConfigError(f"timeout_s must be > 0, got {self.timeout_s}")
         if self.max_attempts < 1:
             raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not self.tenant or not isinstance(self.tenant, str):
+            raise ConfigError(f"tenant must be a non-empty string, got {self.tenant!r}")
+        if any(ch in self.tenant for ch in "{}=,"):
+            # Tenants become metric-label values (name{tenant=...}), so
+            # the label syntax characters are reserved.
+            raise ConfigError(f"tenant must not contain {{}}=, got {self.tenant!r}")
         if self.faults is not None:
             # Validate eagerly so a malformed inline plan is rejected at
             # admission, not attempt-by-attempt inside workers.
@@ -250,12 +259,14 @@ def demo_jobs(count: int, seed: int = 1, poison: int = 0) -> list[JobSpec]:
         raise ConfigError(f"demo batch needs >= 1 job, got {count}")
     apps = ("EMBAR", "BUK", "MGRID", "CGM")
     variants = ("p", "o", "adaptive", "p")
+    tenants = ("acme", "globex", "initech")
     jobs: list[JobSpec] = []
     for k in range(count):
         app = apps[k % len(apps)]
         kind = JOB_KINDS[k % len(JOB_KINDS)]
         common = dict(app=app, memory_pages=96, pages=120,
-                      seed=seed + k, priority=k % 3)
+                      seed=seed + k, priority=k % 3,
+                      tenant=tenants[k % len(tenants)])
         if kind == "run":
             jobs.append(JobSpec(kind="run", variant=variants[k % len(variants)],
                                 **common))

@@ -73,7 +73,8 @@ class WorkerPool:
 
     def __init__(self, size: int, results_dir: str, ckpt_root: str,
                  hb_interval_s: float = 0.05, hb_timeout_s: float = 5.0,
-                 checkpoint_every_us: float | None = None) -> None:
+                 checkpoint_every_us: float | None = None,
+                 telemetry: dict | None = None) -> None:
         if size < 1:
             raise ConfigError(f"worker pool needs >= 1 worker, got {size}")
         if hb_timeout_s <= hb_interval_s:
@@ -90,6 +91,9 @@ class WorkerPool:
         self.hb_timeout_s = hb_timeout_s
         self.checkpoint_every_us = (checkpoint_every_us
                                     or DEFAULT_CHECKPOINT_EVERY_US)
+        #: Plain-dict telemetry wiring shipped to every worker spawn
+        #: (:meth:`repro.obs.telemetry.TelemetryConfig.worker_args`).
+        self.telemetry = telemetry
         # lock=False deliberately: no cross-process lock to orphan.
         self.beats = self.ctx.Array("d", size, lock=False)
         self.workers = [WorkerHandle(worker_id=i) for i in range(size)]
@@ -106,7 +110,7 @@ class WorkerPool:
             target=worker_main,
             args=(handle.worker_id, handle.inbox, self.beats,
                   self.results_dir, self.ckpt_root, self.hb_interval_s,
-                  self.checkpoint_every_us),
+                  self.checkpoint_every_us, self.telemetry),
             name=f"repro-worker-{handle.worker_id}",
             daemon=True,
         )

@@ -59,14 +59,20 @@ def _platform(spec):
 
 
 def execute_job(spec, job_dir: Path, resume: bool,
-                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US
-                ) -> dict[str, Any]:
+                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US,
+                observer=None) -> dict[str, Any]:
     """Run one job spec to completion; returns the JSON-ready result.
 
     Raises :class:`~repro.errors.ProcessCrash` when a plan
     ``process_crash`` fault fires (the controller retries with resume,
     and the shared crash ledger in ``job_dir`` keeps the retry from
     re-dying), and whatever the simulator raises for poison jobs.
+
+    ``observer`` attaches farm telemetry to ``run``/``compare`` jobs
+    (live obs.* histograms plus the per-job trace).  Attaching an
+    observer is proven bit-identical, and the result payload is still
+    computed from a fresh ``RunStats.publish`` registry, so a job run
+    with telemetry returns exactly the bits of one run without.
     """
     from repro.apps.registry import get_app
     from repro.checkpoint import CheckpointConfig
@@ -99,7 +105,7 @@ def execute_job(spec, job_dir: Path, resume: bool,
         if spec.variant == "o":
             stats = run_variant(program, platform, prefetching=False,
                                 warm=spec.warm, fault_plan=plan,
-                                checkpoint=checkpoint)
+                                checkpoint=checkpoint, observer=observer)
         else:
             compiled = insert_prefetches(
                 program, CompilerOptions.from_platform(platform)
@@ -108,7 +114,7 @@ def execute_job(spec, job_dir: Path, resume: bool,
                 compiled.program, platform, prefetching=True,
                 runtime_filter=spec.variant != "nofilter", warm=spec.warm,
                 adaptive=spec.variant == "adaptive", fault_plan=plan,
-                checkpoint=checkpoint,
+                checkpoint=checkpoint, observer=observer,
             )
         registry = stats.publish()
         return {
@@ -128,7 +134,7 @@ def execute_job(spec, job_dir: Path, resume: bool,
         )
         result = compare_app(app, platform, data_pages=spec.pages or None,
                              seed=spec.seed, warm=spec.warm, fault_plan=plan,
-                             checkpoint=checkpoint)
+                             checkpoint=checkpoint, observer=observer)
         variants = [result.original, result.prefetch]
         return {
             "kind": "compare",
@@ -170,11 +176,51 @@ def _heartbeat_loop(beats, worker_id: int, interval_s: float) -> None:
         time.sleep(interval_s)
 
 
+def _telemetry_flush_loop(slot: dict, worker_id: int, telemetry_dir: str,
+                          interval_s: float) -> None:
+    """Periodically snapshot the current job's observer registry.
+
+    The snapshot is cumulative (the controller replaces, never adds,
+    partials for an attempt) and atomically written, so a worker killed
+    mid-flush leaves the previous complete partial.  The registry is
+    being mutated by the job thread while we serialize it -- the GIL
+    keeps individual reads coherent and a torn iteration just skips
+    this tick.
+    """
+    from repro.ioutil import atomic_write_json as write
+
+    path = Path(telemetry_dir) / f"worker{worker_id}.json"
+    while True:
+        time.sleep(interval_s)
+        current = slot.get("current")
+        if current is None:
+            continue
+        spec, attempt, observer = current
+        try:
+            write(path, {
+                "job_id": spec.job_id,
+                "attempt": attempt,
+                "tenant": spec.tenant,
+                "worker": worker_id,
+                "final": False,
+                "metrics": observer.metrics.as_dict(),
+            })
+        except Exception:  # noqa: BLE001 -- a live partial is best-effort
+            continue
+
+
 def worker_main(worker_id: int, inbox, beats, results_dir: str,
                 ckpt_root: str, hb_interval_s: float,
-                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US
-                ) -> None:
-    """Worker process entry point (the multiprocessing target)."""
+                checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US,
+                telemetry: dict | None = None) -> None:
+    """Worker process entry point (the multiprocessing target).
+
+    ``telemetry`` (from :meth:`repro.obs.telemetry.TelemetryConfig.
+    worker_args`) turns on per-job observers: live metric deltas flush
+    to ``<dir>/worker<id>.json`` every ``flush_every_s`` and ride the
+    result payload as the final delta; with ``traces_dir`` set, each
+    attempt's Chrome trace lands there for the merged farm timeline.
+    """
     from repro.serve.jobspec import JobSpec
 
     beats[worker_id] = time.monotonic()
@@ -183,6 +229,14 @@ def worker_main(worker_id: int, inbox, beats, results_dir: str,
         name=f"heartbeat-{worker_id}", daemon=True,
     )
     thread.start()
+    slot: dict[str, Any] = {"current": None}
+    if telemetry is not None:
+        threading.Thread(
+            target=_telemetry_flush_loop,
+            args=(slot, worker_id, telemetry["dir"],
+                  telemetry.get("flush_every_s", 0.5)),
+            name=f"telemetry-{worker_id}", daemon=True,
+        ).start()
     results = Path(results_dir)
     while True:
         try:
@@ -194,15 +248,24 @@ def worker_main(worker_id: int, inbox, beats, results_dir: str,
         spec = JobSpec.from_dict(message["spec"])
         attempt = message["attempt"]
         job_dir = Path(ckpt_root) / spec.job_id
+        observer = None
+        if telemetry is not None:
+            from repro.obs.observer import Observer
+
+            observer = Observer()
+            slot["current"] = (spec, attempt, observer)
         payload: dict[str, Any] = {
             "job_id": spec.job_id,
             "attempt": attempt,
             "worker": worker_id,
+            "trace_id": message.get("trace_id"),
+            "parent_span": message.get("parent_span"),
         }
         start = time.perf_counter()
         try:
             result = execute_job(spec, job_dir, resume=message["resume"],
-                                 checkpoint_every_us=checkpoint_every_us)
+                                 checkpoint_every_us=checkpoint_every_us,
+                                 observer=observer)
             payload.update(state="done", result=result)
         except ProcessCrash as crash:
             # A planned in-simulation process death: retryable, and the
@@ -212,5 +275,37 @@ def worker_main(worker_id: int, inbox, beats, results_dir: str,
         except BaseException as exc:  # noqa: BLE001 -- poison jobs may raise anything
             payload.update(state="failed",
                            error=f"{type(exc).__name__}: {exc}")
+        slot["current"] = None
         payload["wall_s"] = round(time.perf_counter() - start, 4)
+        if observer is not None:
+            if payload["state"] == "done":
+                payload["telemetry"] = {
+                    "job_id": spec.job_id,
+                    "attempt": attempt,
+                    "tenant": spec.tenant,
+                    "final": True,
+                    "metrics": observer.metrics.as_dict(),
+                }
+            if telemetry.get("traces_dir"):
+                _write_job_trace(telemetry["traces_dir"], spec.job_id,
+                                 attempt, observer, payload)
         atomic_write_json(result_path(results, spec.job_id, attempt), payload)
+
+
+def _write_job_trace(traces_dir: str, job_id: str, attempt: int,
+                     observer, payload: dict) -> None:
+    """One attempt's Chrome trace segment, written whatever the outcome
+    (a crashed attempt's partial trace is exactly what the farm
+    timeline needs to show)."""
+    from repro.obs.export import chrome_trace
+
+    try:
+        trace = chrome_trace(observer.trace,
+                             process_name=f"{job_id}.a{attempt}")
+        trace["otherData"]["trace_id"] = payload.get("trace_id")
+        trace["otherData"]["parent_span"] = payload.get("parent_span")
+        atomic_write_json(
+            Path(traces_dir) / f"{job_id}.a{attempt}.json", trace,
+            sort_keys=False)
+    except Exception:  # noqa: BLE001 -- traces are best-effort artifacts
+        return
