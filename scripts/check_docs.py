@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint: reference tables in docs/ must match the code, both ways.
 
-Sixteen authoritative reference tables are checked:
+Eighteen authoritative reference tables are checked:
 
 * **Event schema reference** (docs/observability.md) -- one row per
   ``TraceKind`` value;
@@ -36,7 +36,11 @@ Sixteen authoritative reference tables are checked:
   name in ``TELEMETRY_METRIC_NAMES``;
 * **Farm timeline reference** (docs/observability.md) -- one row per
   name in ``FARM_SPAN_NAMES`` + ``FARM_INSTANT_NAMES`` +
-  ``FARM_COUNTER_NAMES``.
+  ``FARM_COUNTER_NAMES``;
+* **Ledger record reference** (docs/serving.md) -- one row per kind in
+  ``repro.serve.ledger.LEDGER_RECORD_KINDS``;
+* **Recovery semantics** (docs/serving.md) -- one row per key of
+  ``repro.serve.ledger.RECOVERY_SEMANTICS``.
 
 This script parses those sections (and only those sections -- other
 tables in the docs may legitimately backtick other things) and fails
@@ -182,6 +186,31 @@ def documented_fuzz_tokens(doc_path: Path = ROBUSTNESS_DOC_PATH) -> dict[str, se
     return tokens
 
 
+def documented_ledger_tokens(doc_path: Path = SERVING_DOC_PATH) -> dict[str, set[str]]:
+    """First-column tokens of the serving doc's two ledger tables.
+
+    The ledger tables live under ``###`` headings inside the Controller
+    failure & recovery section, so the body of each runs to the next
+    heading of *either* level.
+    """
+    doc = doc_path.read_text()
+    tokens: dict[str, set[str]] = {}
+    for heading, bucket in (("### Ledger record reference", "ledger_kinds"),
+                            ("### Recovery semantics", "recovery_kinds")):
+        if heading not in doc:
+            raise SystemExit(f"{doc_path}: missing section {heading!r}")
+        start = doc.index(heading) + len(heading)
+        rest = doc[start:]
+        next_heading = re.search(r"^#{2,3} ", rest, flags=re.MULTILINE)
+        body = rest[: next_heading.start()] if next_heading else rest
+        tokens[bucket] = set()
+        for line in body.splitlines():
+            match = _ROW_TOKEN.match(line.strip())
+            if match:
+                tokens[bucket].add(match.group(1))
+    return tokens
+
+
 def documented_telemetry_tokens(doc_path: Path = DOC_PATH) -> dict[str, set[str]]:
     """First-column tokens of the observability doc's four farm tables.
 
@@ -255,6 +284,7 @@ def check(
     from repro.obs.telemetry import SloRule
     from repro.obs.trace import TraceKind
     from repro.serve.jobspec import JobSpec
+    from repro.serve.ledger import LEDGER_RECORD_KINDS, RECOVERY_SEMANTICS
 
     doc = documented_tokens(doc_path)
     in_code = {
@@ -309,6 +339,22 @@ def check(
     for stale in sorted(serve_doc["serve_metrics"] - set(SERVE_METRIC_NAMES)):
         problems.append(
             f"serve metric {stale!r} is documented but not in code")
+
+    ledger_doc = documented_ledger_tokens(serving_doc_path)
+    for bucket, label, code_tokens in (
+        ("ledger_kinds", "ledger record kind", set(LEDGER_RECORD_KINDS)),
+        ("recovery_kinds", "recovery-semantics kind",
+         set(RECOVERY_SEMANTICS)),
+    ):
+        for missing in sorted(code_tokens - ledger_doc[bucket]):
+            problems.append(
+                f"{label} {missing!r} is in code but not documented")
+        for stale in sorted(ledger_doc[bucket] - code_tokens):
+            problems.append(
+                f"{label} {stale!r} is documented but not in code")
+    if set(RECOVERY_SEMANTICS) != set(LEDGER_RECORD_KINDS):
+        problems.append(
+            "RECOVERY_SEMANTICS keys do not match LEDGER_RECORD_KINDS")
 
     fuzz_doc = documented_fuzz_tokens(robustness_doc_path)
     for bucket, label, code_tokens in (
@@ -397,6 +443,7 @@ def main() -> int:
     serve_tokens = documented_serve_tokens()
     fuzz_tokens = documented_fuzz_tokens()
     telemetry_tokens = documented_telemetry_tokens()
+    ledger_tokens = documented_ledger_tokens()
     print(f"check_docs: OK ({len(tokens['kinds'])} event kinds, "
           f"{len(tokens['metrics'])} metrics, "
           f"{len(tokens['span_states'])} span states, "
@@ -412,7 +459,9 @@ def main() -> int:
           f"{len(telemetry_tokens['slo_fields'])} SLO rule fields, "
           f"{len(telemetry_tokens['slo_metrics'])} SLO metrics, "
           f"{len(telemetry_tokens['telemetry_metrics'])} telemetry metrics, "
-          f"{len(telemetry_tokens['farm_timeline'])} farm timeline names "
+          f"{len(telemetry_tokens['farm_timeline'])} farm timeline names, "
+          f"{len(ledger_tokens['ledger_kinds'])} ledger record kinds, "
+          f"{len(ledger_tokens['recovery_kinds'])} recovery-semantics kinds "
           "in sync)")
     return 0
 

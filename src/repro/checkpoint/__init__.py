@@ -28,7 +28,11 @@ from repro.checkpoint.snapshot import (
     describe_state,
     machine_signature,
 )
-from repro.checkpoint.store import CheckpointStore, read_checkpoint_file
+from repro.checkpoint.store import (
+    CheckpointStore,
+    has_resumable_checkpoint,
+    read_checkpoint_file,
+)
 
 __all__ = [
     "CheckpointConfig",
@@ -39,6 +43,7 @@ __all__ = [
     "Snapshot",
     "capture",
     "describe_state",
+    "has_resumable_checkpoint",
     "machine_signature",
     "read_checkpoint_file",
     "run_with_recovery",

@@ -104,6 +104,29 @@ def read_checkpoint_file(path: str | Path) -> tuple[dict, bytes]:
     return decode_checkpoint(blob, where=str(path))
 
 
+def has_resumable_checkpoint(directory: str | Path) -> bool:
+    """Does ``directory`` hold at least one verifiable checkpoint?
+
+    Label-agnostic and corruption-tolerant: any ``*.ckpt`` file that
+    decodes cleanly counts.  Controller crash recovery uses this to
+    decide whether a re-admitted job can resume or must restart from
+    scratch -- claiming resume without a good checkpoint would make the
+    worker silently start over mid-accounting.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return False
+    for path in sorted(directory.iterdir(), reverse=True):
+        if not _FILE_RE.match(path.name):
+            continue
+        try:
+            read_checkpoint_file(path)
+        except CheckpointError:
+            continue
+        return True
+    return False
+
+
 class CheckpointStore:
     """A directory of retained checkpoints, ``keep`` newest per label."""
 

@@ -732,25 +732,32 @@ def _load_serve_results(path: str) -> dict:
 
 
 def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
-                 ) -> int:
+                 recover: bool = False) -> int:
     """Run a batch on a farm, write the artifacts, print the table.
 
     ``carried`` rows (already-terminal jobs from a previous results
     file, used by ``drain``) are prepended to the output unchanged.
+    ``recover`` replays the workdir's write-ahead ledger before any
+    new submission (``serve recover``, or ``submit`` landing on a
+    stale ledger).
     """
     import tempfile
 
     from repro.faults.farm import default_farm_plan, load_farm_plan
     from repro.obs.telemetry import TelemetryConfig, load_slo_rules
     from repro.serve import FarmConfig, JobState, RetryPolicy, run_farm
+    from repro.serve.ledger import ledger_is_stale
 
     chaos = None
     if args.farm_chaos:
         chaos = load_farm_plan(args.farm_chaos)
-    elif args.chaos_kills or args.chaos_stalls:
-        chaos = default_farm_plan(kills=args.chaos_kills,
-                                  stalls=args.chaos_stalls,
-                                  delay_s=args.chaos_delay)
+    elif (args.chaos_kills or args.chaos_stalls
+          or args.chaos_controller_crash):
+        chaos = default_farm_plan(
+            kills=args.chaos_kills,
+            stalls=args.chaos_stalls,
+            delay_s=args.chaos_delay,
+            controller_crashes=args.chaos_controller_crash)
     telemetry = TelemetryConfig(
         enabled=not args.no_telemetry,
         flush_every_s=args.telemetry_every,
@@ -773,8 +780,15 @@ def _serve_batch(args: argparse.Namespace, specs, carried: list | None = None,
     if workdir is None:
         tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
         workdir = tmp.name
+    elif not recover and ledger_is_stale(workdir):
+        # A previous controller died here mid-batch: replay its ledger
+        # before taking new work, so its jobs are not silently lost.
+        print(f"stale ledger in {workdir} (controller died mid-batch): "
+              f"recovering its jobs first")
+        recover = True
     try:
-        report = run_farm(specs, config, workdir, chaos=chaos)
+        report = run_farm(specs, config, workdir, chaos=chaos,
+                          recover=recover)
     finally:
         if tmp is not None:
             tmp.cleanup()
@@ -862,6 +876,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       file=sys.stderr)
                 return ExitCode.USAGE
             return _serve_batch(args, specs)
+        if args.verb == "recover":
+            if not args.workdir:
+                print("serve recover needs --workdir DIR (the crashed "
+                      "farm's workdir, where its ledger lives)",
+                      file=sys.stderr)
+                return ExitCode.USAGE
+            return _serve_batch(args, [], recover=True)
+        if args.verb == "status" and args.workdir:
+            # Live view first: the workdir's telemetry snapshot, with an
+            # explicit freshness verdict instead of silent stale data.
+            path = str(Path(args.workdir) / "telemetry.json")
+            snap, note = _snapshot_freshness(path)
+            if note:
+                print(note)
+            if snap is not None:
+                print("\n".join(_render_top(snap)))
         results = args.results or args.out
         payload = _load_serve_results(results)
         if args.verb == "status":
@@ -876,6 +906,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             all_done = all(job["state"] == "done" for job in payload["jobs"])
             return ExitCode.OK if all_done else ExitCode.JOB_FAILED
         # drain: re-run everything that did not finish, keep what did.
+        if args.workdir:
+            removed = _drain_stale_state(args.workdir)
+            if removed:
+                print(f"cleaned {removed} stale worker/controller state "
+                      f"file(s) under {args.workdir}")
         carried = [job for job in payload["jobs"] if job["state"] == "done"]
         specs = [JobSpec.from_dict(job["spec"]) for job in payload["jobs"]
                  if job["state"] != "done"]
@@ -889,6 +924,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return ExitCode.USAGE
 
 
+def _drain_stale_state(workdir: str) -> int:
+    """``serve drain`` housekeeping: remove heartbeat/pid files left by
+    SIGKILLed workers and a dead controller's liveness stamp.  Live
+    processes' state is left alone."""
+    from repro.serve.ledger import clear_liveness, controller_alive, liveness_path
+    from repro.serve.supervisor import cleanup_worker_state
+
+    removed = cleanup_worker_state(Path(workdir) / "workers")
+    if liveness_path(workdir).is_file() and not controller_alive(workdir):
+        clear_liveness(workdir)
+        removed += 1
+    return removed
+
+
 def _load_snapshot(path: str) -> dict | None:
     import json
 
@@ -900,6 +949,48 @@ def _load_snapshot(path: str) -> dict | None:
     if not isinstance(payload, dict) or "farm" not in payload:
         return None
     return payload
+
+
+#: A "running" snapshot older than this is considered abandoned (the
+#: controller flushes every --telemetry-every seconds, default 0.5).
+SNAPSHOT_STALE_AFTER_S = 10.0
+
+
+def _snapshot_freshness(path: str) -> tuple[dict | None, str | None]:
+    """Load a telemetry snapshot with an explicit freshness verdict.
+
+    Returns ``(snapshot, note)``: missing and unreadable files produce
+    ``(None, why)`` instead of a traceback, and a snapshot still marked
+    ``running`` whose file has not been rewritten for
+    :data:`SNAPSHOT_STALE_AFTER_S` produces a "stale snapshot (age Xs)"
+    note pointing at ``repro serve recover`` -- never silent stale data.
+    """
+    import json
+    import os as _os
+    import time as _time
+
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return None, (f"no telemetry yet at {path} (farm not started, "
+                      f"--workdir not set, or telemetry off)")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError:
+        return None, (f"telemetry snapshot at {path} is unreadable "
+                      f"(caught mid-rewrite? retry in a moment)")
+    if not isinstance(payload, dict) or "farm" not in payload:
+        return None, f"{path} is not a farm telemetry snapshot"
+    try:
+        age = _time.time() - _os.stat(path).st_mtime
+    except OSError:
+        age = 0.0
+    if payload.get("state") == "running" and age > SNAPSHOT_STALE_AFTER_S:
+        return payload, (
+            f"stale snapshot (age {age:.0f}s): the controller stopped "
+            f"updating it mid-run -- if it crashed, "
+            f"`repro serve recover --workdir ...` resumes the batch")
+    return payload, None
 
 
 def _render_top(snap: dict) -> list[str]:
@@ -951,12 +1042,12 @@ def cmd_top(args: argparse.Namespace) -> int:
 
     path = args.snapshot or str(Path(args.workdir) / "telemetry.json")
     if args.once:
-        snap = _load_snapshot(path)
+        snap, note = _snapshot_freshness(path)
         if snap is None:
-            print(f"error: no telemetry snapshot at {path} "
-                  f"(is a farm running with --workdir and telemetry on?)",
-                  file=sys.stderr)
+            print(f"error: {note}", file=sys.stderr)
             return ExitCode.FAILURE
+        if note:
+            print(note, file=sys.stderr)
         if args.json:
             print(json.dumps(snap, indent=1, sort_keys=True))
         else:
@@ -967,11 +1058,13 @@ def cmd_top(args: argparse.Namespace) -> int:
     # sticks around to read).
     try:
         while True:
-            snap = _load_snapshot(path)
+            snap, note = _snapshot_freshness(path)
             sys.stdout.write("\x1b[2J\x1b[H")  # clear + home
             if snap is None:
-                print(f"waiting for telemetry snapshot at {path} ...")
+                print(f"{note} -- waiting ...")
             else:
+                if note:
+                    print(note)
                 print("\n".join(_render_top(snap)))
                 print(f"\n[refresh {args.interval:g}s - ctrl-c to quit]")
             sys.stdout.flush()
@@ -1260,9 +1353,10 @@ def build_parser() -> argparse.ArgumentParser:
                     "Exits 0 when every job is done, 4 when any job "
                     "ended quarantined or shed.",
     )
-    p.add_argument("verb", choices=["submit", "status", "drain"],
-                   help="submit a batch, render a results file, or re-run "
-                        "a results file's unfinished jobs")
+    p.add_argument("verb", choices=["submit", "status", "drain", "recover"],
+                   help="submit a batch, render a results file, re-run "
+                        "a results file's unfinished jobs, or replay a "
+                        "crashed controller's write-ahead ledger")
     p.add_argument("--jobs", metavar="FILE",
                    help="job batch JSON (schema in docs/serving.md)")
     p.add_argument("--demo", type=int, default=0, metavar="N",
@@ -1293,6 +1387,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SIGKILL N workers mid-job (built-in schedule)")
     p.add_argument("--chaos-stalls", type=int, default=0, metavar="N",
                    help="SIGSTOP N workers mid-job (built-in schedule)")
+    p.add_argument("--chaos-controller-crash", type=int, default=0,
+                   metavar="N",
+                   help="SIGKILL the controller itself N times mid-batch "
+                        "(each crash ends the run; `serve recover` "
+                        "resumes it from the ledger)")
     p.add_argument("--chaos-delay", type=float, default=0.1, metavar="S",
                    help="delay after job start before a built-in strike")
     p.add_argument("--no-preemption", action="store_true",

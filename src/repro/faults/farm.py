@@ -11,7 +11,12 @@ pool:
   (which is why every worker artifact goes through the atomic writer);
 * ``stall`` -- SIGSTOP the worker, the fail-slow/hung regime: the
   process is alive but stops heartbeating, and only the supervisor's
-  missed-heartbeat detection (followed by its own SIGKILL) recovers it.
+  missed-heartbeat detection (followed by its own SIGKILL) recovers it;
+* ``controller_crash`` -- SIGKILL the **controller itself** mid-batch,
+  the single-point-of-failure regime.  Recovery comes from the
+  write-ahead job ledger: ``repro serve recover`` replays it and the
+  batch finishes bit-identical (docs/serving.md, *Controller failure &
+  recovery*).
 
 Events trigger on the farm's global job-start counter (the ``n``-th
 dispatched attempt), ``delay_s`` wall seconds after that job starts --
@@ -33,8 +38,10 @@ from repro.errors import ConfigError
 #: The farm-chaos JSON schema version this build reads and writes.
 FARM_PLAN_VERSION = 1
 
-#: Operations a farm fault may apply to a worker process.
-FARM_FAULT_OPS: tuple[str, ...] = ("kill", "stall")
+#: Operations a farm fault may apply to a farm process.  ``kill`` and
+#: ``stall`` strike the worker running the triggering attempt;
+#: ``controller_crash`` strikes the controller process itself.
+FARM_FAULT_OPS: tuple[str, ...] = ("kill", "stall", "controller_crash")
 
 
 @dataclass(frozen=True)
@@ -117,15 +124,19 @@ def load_farm_plan(path: str) -> FarmChaosPlan:
 
 def default_farm_plan(kills: int = 1, stalls: int = 0,
                       first_start: int = 2, stride: int = 3,
-                      delay_s: float = 0.1) -> FarmChaosPlan:
+                      delay_s: float = 0.1,
+                      controller_crashes: int = 0) -> FarmChaosPlan:
     """An evenly spread kill/stall schedule (``--chaos-kills/--chaos-stalls``).
 
     Strikes land on every ``stride``-th dispatched attempt beginning at
     ``first_start``, kills first, then stalls, so a 20-job batch with
     ``kills=2, stalls=1`` loses workers at the 2nd, 5th, and 8th starts.
+    ``controller_crashes`` appends controller-SIGKILL strikes after the
+    worker strikes (normally 0 or 1 -- each one ends the run until
+    ``repro serve recover`` resumes it).
     """
-    if kills < 0 or stalls < 0:
-        raise ConfigError("kills and stalls must be >= 0")
+    if kills < 0 or stalls < 0 or controller_crashes < 0:
+        raise ConfigError("kills, stalls, and controller_crashes must be >= 0")
     if stride < 1:
         raise ConfigError(f"stride must be >= 1, got {stride}")
     faults = []
@@ -135,5 +146,9 @@ def default_farm_plan(kills: int = 1, stalls: int = 0,
         start += stride
     for _ in range(stalls):
         faults.append(WorkerFault(on_start=start, delay_s=delay_s, op="stall"))
+        start += stride
+    for _ in range(controller_crashes):
+        faults.append(WorkerFault(on_start=start, delay_s=delay_s,
+                                  op="controller_crash"))
         start += stride
     return FarmChaosPlan(faults=tuple(faults))

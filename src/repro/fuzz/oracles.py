@@ -1,4 +1,4 @@
-"""The six metamorphic / differential oracle families.
+"""The seven metamorphic / differential oracle families.
 
 Each oracle is a function ``check_<name>(scenario)`` that rebuilds the
 scenario's program and platform, drives one or more full runs through
@@ -36,11 +36,24 @@ the machine / checkpoint / multiprog layers, and raises
     variant: co-scheduled O/P tenants on one faulted machine must
     terminate *and* every stall-read microsecond must be attributable
     exactly (scheduler idle + frame-pin waits == clock, bitwise).
+``farm_recovery``
+    Controller crash recovery is a pure fold of the write-ahead job
+    ledger: journal a synthetic farm history, kill the controller at a
+    random record boundary (optionally leaving a torn tail line),
+    and the surviving prefix must replay into a byte-identical
+    :func:`repro.serve.ledger.recovery_plan` twice over, with every
+    admitted job accounted for exactly once (terminal jobs folded,
+    in-flight ones adopted, the rest re-admitted) -- no real worker
+    processes, just the ledger algebra, so this family runs in
+    milliseconds.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
+import tempfile
+from pathlib import Path
 
 from repro.checkpoint.runner import CheckpointConfig, run_with_recovery
 from repro.core.options import CompilerOptions
@@ -53,6 +66,14 @@ from repro.machine.machine import Machine
 from repro.multiprog.scheduler import CoScheduler
 from repro.obs import Observer, StallAttributor
 from repro.obs.trace import TraceKind
+from repro.seeding import derive_rng
+from repro.serve.ledger import (
+    JobLedger,
+    fold_ledger,
+    read_ledger,
+    recovery_plan,
+)
+from repro.serve.retry import RetryPolicy
 from repro.vm.page import PageState
 
 #: Every oracle family, in the order the runner exercises them.
@@ -63,6 +84,7 @@ ORACLE_NAMES: tuple[str, ...] = (
     "checkpoint_equivalence",
     "vector_equivalence",
     "chaos_termination",
+    "farm_recovery",
 )
 
 
@@ -396,6 +418,138 @@ def check_chaos_termination(scenario: Scenario) -> None:
         )
 
 
+# ----------------------------------------------------------------------
+# (g) farm recovery (write-ahead ledger replay algebra)
+# ----------------------------------------------------------------------
+
+
+def _synthesize_ledger(workdir: str, farm: dict) -> int:
+    """Journal a random-but-seeded farm history; returns lines written.
+
+    The generator walks each job through the real transition grammar
+    (admitted -> dispatched -> {done, retry_scheduled, preempted,
+    quarantined, shed} -> ...), sprinkling heartbeat epochs, so the
+    truncated prefix the oracle replays is shaped exactly like what a
+    crashed controller leaves behind.
+    """
+    rng = derive_rng(int(farm.get("seed", 0)), "fuzz", "farm_recovery")
+    ledger = JobLedger(workdir)
+    jobs = int(farm.get("jobs", 3))
+    phases: dict[str, str] = {}
+    attempts: dict[str, int] = {}
+    for n in range(1, jobs + 1):
+        job_id = f"job{n}"
+        ledger.append("admitted", job=job_id, seq=n,
+                      spec={"job_id": job_id, "kind": "run", "app": "FFT",
+                            "seed": n})
+        phases[job_id] = "pending"
+        attempts[job_id] = 0
+    epoch = 0
+    for _ in range(int(farm.get("events", 10))):
+        live = sorted(j for j, phase in phases.items()
+                      if phase in ("pending", "running"))
+        if not live:
+            break
+        if rng.random() < 0.15:
+            epoch += 1
+            ledger.append("heartbeat_epoch", epoch=epoch)
+            continue
+        job_id = rng.choice(live)
+        if phases[job_id] == "pending":
+            attempts[job_id] += 1
+            ledger.append("dispatched", job=job_id,
+                          attempt=attempts[job_id],
+                          worker=rng.randrange(4),
+                          resume=rng.random() < 0.3)
+            phases[job_id] = "running"
+            continue
+        kind = rng.choice(["done", "retry_scheduled", "preempted",
+                           "quarantined", "shed"])
+        if kind == "done":
+            ledger.append("done", job=job_id, attempt=attempts[job_id],
+                          digest=f"{rng.getrandbits(64):016x}")
+        elif kind == "retry_scheduled":
+            ledger.append("retry_scheduled", job=job_id,
+                          attempt=attempts[job_id],
+                          resume=rng.random() < 0.5,
+                          delay_s=rng.random(), reason="worker crashed")
+        elif kind == "preempted":
+            ledger.append("preempted", job=job_id)
+        else:
+            ledger.append(kind, job=job_id, reason=f"synthetic {kind}")
+        phases[job_id] = "pending" if kind in ("retry_scheduled",
+                                               "preempted") else kind
+    count = len(ledger)
+    ledger.close()
+    return count
+
+
+def check_farm_recovery(scenario: Scenario) -> None:
+    farm = scenario.farm
+    if farm is None:
+        raise OracleViolation(
+            "farm_recovery", scenario,
+            "scenario has no farm spec to exercise",
+        )
+
+    def fail(detail: str) -> OracleViolation:
+        return OracleViolation("farm_recovery", scenario, detail)
+
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ledger-") as workdir:
+        total = _synthesize_ledger(workdir, farm)
+        path = Path(workdir) / "ledger.jsonl"
+        # Kill the controller: keep the first ``kill_at`` journal lines,
+        # optionally leaving half of the next append as a torn tail.
+        lines = path.read_text().splitlines(keepends=True)
+        kill_at = max(0, min(int(farm.get("kill_at", total)), len(lines)))
+        kept, dropped = lines[:kill_at], lines[kill_at:]
+        tail = (dropped[0][:max(1, len(dropped[0]) // 2)]
+                if dropped and farm.get("torn") else "")
+        path.write_text("".join(kept) + tail)
+
+        records = read_ledger(path)
+        if len(records) != kill_at:
+            raise fail(
+                f"longest valid prefix has {len(records)} records, "
+                f"expected the {kill_at} whole lines that survived "
+                f"(torn tail {'present' if tail else 'absent'})"
+            )
+        policy = RetryPolicy(seed=int(farm.get("seed", 0)))
+        entries = fold_ledger(records)
+        plans = [
+            json.dumps(recovery_plan(fold_ledger(read_ledger(path)),
+                                     policy), sort_keys=True)
+            for _ in range(2)
+        ]
+        if plans[0] != plans[1]:
+            raise fail(
+                "recovery plan is not deterministic: two replays of the "
+                "same ledger prefix diverged"
+            )
+        plan = recovery_plan(entries, policy)
+        admitted = [r["job"] for r in records if r["kind"] == "admitted"]
+        planned = sorted(item["job"] for item in plan)
+        if planned != sorted(set(admitted)):
+            raise fail(
+                f"job conservation violated: admitted {sorted(admitted)} "
+                f"but the plan covers {planned}"
+            )
+        for item in plan:
+            entry = entries[item["job"]]
+            terminal_fold = item["action"].startswith("fold_")
+            if entry.terminal != terminal_fold:
+                raise fail(
+                    f"job {item['job']} is phase {entry.phase!r} but the "
+                    f"plan says {item['action']!r}"
+                )
+            if not entry.terminal and item["action"] not in ("adopt",
+                                                             "readmit"):
+                raise fail(
+                    f"unfinished job {item['job']} got unknown recovery "
+                    f"action {item['action']!r}"
+                )
+
+
 #: Dispatch table the runner and the replayer share.
 ORACLE_CHECKS = {
     "stall_bound": check_stall_bound,
@@ -404,6 +558,7 @@ ORACLE_CHECKS = {
     "checkpoint_equivalence": check_checkpoint_equivalence,
     "vector_equivalence": check_vector_equivalence,
     "chaos_termination": check_chaos_termination,
+    "farm_recovery": check_farm_recovery,
 }
 
 assert tuple(ORACLE_CHECKS) == ORACLE_NAMES

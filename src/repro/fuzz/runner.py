@@ -13,9 +13,14 @@
    scenario is shrunk by hypothesis; the minimal example is serialized
    into the corpus as a replayable JSON file.
 3. **Farm chaos** (ci/deep profiles).  Real multiprocessing job-farm
-   runs under worker kill/stall plans -- too heavy for hypothesis's
-   example counts, so they run as a fixed number of seeded scenarios
-   checking the never-hung property (every record terminal).
+   runs under worker kill/stall/controller-crash plans -- too heavy for
+   hypothesis's example counts, so they run as a fixed number of seeded
+   scenarios checking the never-hung property (every record terminal).
+   A plan that draws ``controller_crash`` runs the farm in a child
+   process (the strike SIGKILLs the controller itself); the parent then
+   replays the orphaned workdir's write-ahead ledger via
+   ``repro serve recover`` and holds the recovered batch to the same
+   oracle.
 
 The wall-clock budget is checked *between* families: a family that
 starts gets to finish (its examples are cheap; shrinking is the long
@@ -160,10 +165,46 @@ def _family_property(family: str, seed: int, examples: int,
     return prop
 
 
+def _farm_chaos_config():
+    """The fixed farm profile both chaos phases (parent + child) use."""
+    from repro.serve import FarmConfig
+
+    return FarmConfig(workers=2, hb_interval_s=0.05, hb_timeout_s=1.0,
+                      max_wall_s=90.0)
+
+
+def _farm_chaos_child(specs_json: str, workdir: str,
+                      chaos_json: str) -> None:
+    """Child-process entry for a controller-crash chaos run.
+
+    Module-level so multiprocessing can spawn it; the farm runs here so
+    the plan's ``controller_crash`` SIGKILL takes out *this* process,
+    not the fuzz campaign.
+    """
+    import json
+
+    from repro.faults.farm import FarmChaosPlan
+    from repro.serve import JobSpec, run_farm
+
+    specs = [JobSpec.from_dict(d) for d in json.loads(specs_json)]
+    chaos = FarmChaosPlan.from_dict(json.loads(chaos_json))
+    run_farm(specs, _farm_chaos_config(), workdir, chaos=chaos)
+
+
 def _run_farm_chaos(seed: int, index: int, report: FuzzReport, log) -> None:
-    """One seeded farm run under worker chaos; never-hung oracle."""
+    """One seeded farm run under chaos; never-hung oracle.
+
+    Worker kills and stalls run in-process.  When the drawn plan
+    includes a ``controller_crash``, the farm runs in a child process
+    (which the strike SIGKILLs mid-batch) and the parent recovers the
+    orphaned workdir from its write-ahead ledger -- the recovered batch
+    must satisfy the same every-record-terminal property.
+    """
+    import json
+    import multiprocessing
+
     from repro.faults.farm import FarmChaosPlan, WorkerFault
-    from repro.serve import FarmConfig, demo_jobs, run_farm
+    from repro.serve import demo_jobs, recover_farm, run_farm
 
     rng = derive_rng(seed, "fuzz", "farm", index)
     jobs = demo_jobs(_FARM_JOBS, seed=rng.randrange(1, 2**16),
@@ -171,13 +212,45 @@ def _run_farm_chaos(seed: int, index: int, report: FuzzReport, log) -> None:
     starts = rng.sample(range(1, _FARM_JOBS + 1), k=rng.randrange(1, 4))
     chaos = FarmChaosPlan(faults=tuple(
         WorkerFault(on_start=start, delay_s=rng.uniform(0.0, 0.1),
-                    op=rng.choice(["kill", "stall"]))
+                    op=rng.choice(["kill", "stall", "controller_crash"]))
         for start in sorted(starts)
     ))
-    config = FarmConfig(workers=2, hb_interval_s=0.05, hb_timeout_s=1.0,
-                        max_wall_s=90.0)
+    config = _farm_chaos_config()
+    crashes = any(f.op == "controller_crash" for f in chaos.faults)
+    oracle = "farm_recovery" if crashes else "chaos_termination"
     with tempfile.TemporaryDirectory(prefix="repro-fuzz-farm-") as workdir:
-        farm_report = run_farm(jobs, config, workdir, chaos=chaos)
+        if crashes:
+            proc = multiprocessing.Process(
+                target=_farm_chaos_child,
+                args=(json.dumps([j.to_dict() for j in jobs]), workdir,
+                      json.dumps(chaos.to_dict())),
+            )
+            proc.start()
+            # Poll is_alive (waitpid) instead of join(timeout): orphaned
+            # workers inherit the child's sentinel pipe, so a sentinel
+            # wait would block until *they* exit, not until the crash.
+            deadline = time.monotonic() + config.max_wall_s + 30.0
+            while proc.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+                report.farm_runs += 1
+                report.oracle_checks += 1
+                report.findings.append(Finding(
+                    oracle=oracle,
+                    detail=(f"farm chaos run {index} hung past its wall "
+                            f"budget under plan {chaos.to_dict()}"),
+                    source="generated",
+                ))
+                if log:
+                    log(f"farm chaos {index}: FAILED, child farm hung")
+                return
+            # The chaos plan stops at the crash; the recovered batch
+            # runs clean (a second crash would just loop the test).
+            farm_report = recover_farm(config, workdir)
+        else:
+            farm_report = run_farm(jobs, config, workdir, chaos=chaos)
     report.farm_runs += 1
     report.runs += len(farm_report.records)
     report.oracle_checks += 1
@@ -185,7 +258,7 @@ def _run_farm_chaos(seed: int, index: int, report: FuzzReport, log) -> None:
         stuck = [r.spec.job_id for r in farm_report.records
                  if not r.terminal]
         report.findings.append(Finding(
-            oracle="chaos_termination",
+            oracle=oracle,
             detail=(f"farm chaos run {index} left non-terminal jobs "
                     f"{stuck} (plan: {chaos.to_dict()})"),
             source="generated",
@@ -193,8 +266,9 @@ def _run_farm_chaos(seed: int, index: int, report: FuzzReport, log) -> None:
         if log:
             log(f"farm chaos {index}: FAILED, non-terminal jobs {stuck}")
     elif log:
+        recovered = " (controller crashed + recovered)" if crashes else ""
         log(f"farm chaos {index}: {len(farm_report.records)} jobs "
-            f"terminal in {farm_report.wall_s:.1f}s")
+            f"terminal in {farm_report.wall_s:.1f}s{recovered}")
 
 
 def run_fuzz(seed: int = 1, profile: str = "smoke",

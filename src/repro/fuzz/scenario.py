@@ -17,7 +17,11 @@ corpus file replays bit-identically on any checkout:
 * an optional **checkpoint schedule**, expressed as *fractions* of the
   run's safe-point cycles so a shrunk program keeps a valid schedule;
 * the list of **oracles** the scenario must satisfy, plus the declared
-  bounds oracle (a) and (f) check against.
+  bounds oracle (a) and (f) check against;
+* an optional **farm spec** (``farm_recovery`` family): the recipe for
+  a synthetic write-ahead job-ledger history plus the controller-kill
+  point at which it is truncated -- no real processes, just the ledger
+  replay algebra.
 
 Arrays in a loop nest are sized from their uses (the maximum index any
 reference can reach), so every generated binding is valid by
@@ -285,6 +289,11 @@ class Scenario:
     #: faulted machine, must terminate *and* attribute every stall-read
     #: microsecond exactly).
     tenants: int = 1
+    #: The ``farm_recovery`` oracle's synthetic ledger recipe: job
+    #: count, seed, transition count, and the kill point (ledger line)
+    #: at which the controller "dies" (``torn`` leaves a half-written
+    #: tail line behind).  ``None`` for every other family.
+    farm: dict | None = None
     version: int = SCENARIO_VERSION
 
     def __post_init__(self) -> None:
@@ -320,6 +329,8 @@ class Scenario:
             data["fault_plan"] = self.fault_plan.to_dict()
         if self.checkpoint is not None:
             data["checkpoint"] = self.checkpoint.to_dict()
+        if self.farm is not None:
+            data["farm"] = dict(self.farm)
         return data
 
     @classmethod
@@ -337,5 +348,6 @@ class Scenario:
             budget_factor=float(data.get("budget_factor", 50.0)),
             budget_slack_us=float(data.get("budget_slack_us", 10_000_000.0)),
             tenants=int(data.get("tenants", 1)),
+            farm=data.get("farm"),
             version=int(data.get("version", SCENARIO_VERSION)),
         )

@@ -14,7 +14,14 @@ combinations are *meaningful*, not just valid:
   checkpoint spec (fractions of the run), not the fault plan, so the
   uninterrupted control run stays uninterrupted;
 * ``chaos_termination`` scenarios get the full fault taxonomy at once,
-  and sometimes co-schedule 2-3 tenants on the shared faulted machine.
+  and sometimes co-schedule 2-3 tenants on the shared faulted machine;
+* ``farm_recovery`` scenarios carry no interesting program at all --
+  the oracle replays a synthetic write-ahead job ledger truncated at a
+  drawn controller-kill point, so the strategy draws the ledger recipe
+  (jobs, transitions, kill line, torn tail) instead;
+* ``farm_chaos_plans`` draws ``controller_crash`` strikes alongside
+  worker kills and stalls -- the runner's real-farm phase runs such
+  plans in a child process and drives ``repro serve recover`` itself.
 
 Sizes are bounded so one generated run stays well under a second: loop
 nests cap the product of extents, patterns cap their element counts,
@@ -289,14 +296,20 @@ def checkpoint_schedules(draw) -> CheckpointSpec:
 
 @st.composite
 def farm_chaos_plans(draw, max_jobs: int = 12) -> FarmChaosPlan:
-    """Worker kill/stall schedules for the supervised job farm."""
+    """Worker kill/stall/controller-crash schedules for the job farm.
+
+    ``controller_crash`` strikes are drawn rarely (the run ends there
+    until recovery) and the kill/stall ops stay dominant so most plans
+    still exercise the supervisor's own failover paths.
+    """
     starts = draw(st.lists(st.integers(1, max_jobs), min_size=1,
                            max_size=4, unique=True))
     return FarmChaosPlan(faults=tuple(
         WorkerFault(
             on_start=start,
             delay_s=draw(st.floats(0.0, 0.2, allow_nan=False)),
-            op=draw(st.sampled_from(["kill", "stall"])),
+            op=draw(st.sampled_from(["kill", "stall", "kill", "stall",
+                                     "controller_crash"])),
         )
         for start in sorted(starts)
     ))
@@ -310,6 +323,24 @@ def farm_chaos_plans(draw, max_jobs: int = 12) -> FarmChaosPlan:
 @st.composite
 def scenarios(draw, family: str) -> Scenario:
     """A complete scenario exercising one oracle family."""
+    if family == "farm_recovery":
+        # Pure ledger algebra: the program/platform are a fixed minimal
+        # recipe (never built), all the entropy lives in the farm spec.
+        jobs = draw(st.integers(min_value=1, max_value=6))
+        events = draw(st.integers(min_value=0, max_value=24))
+        farm = {
+            "jobs": jobs,
+            "seed": draw(st.integers(min_value=0, max_value=2**16)),
+            "events": events,
+            "kill_at": draw(st.integers(min_value=0,
+                                        max_value=jobs + events + 2)),
+            "torn": draw(st.booleans()),
+        }
+        return Scenario(
+            program=ProgramSpec(pattern="stream", params={"nelems": 1024}),
+            platform=PlatformSpec(),
+            oracles=("farm_recovery",), farm=farm,
+        )
     program = draw(programs())
     platform = draw(platforms())
     if family == "stall_bound":

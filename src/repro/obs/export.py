@@ -143,6 +143,7 @@ FARM_INSTANT_NAMES: tuple[str, ...] = (
     "deadline",
     "heartbeat_epoch",
     "slo_violation",
+    "recover",
 )
 
 #: Counter tracks ("C" phase) the farm recorder samples each poll tick.

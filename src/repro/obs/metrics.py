@@ -438,6 +438,12 @@ SERVE_METRIC_NAMES: tuple[str, ...] = (
     "serve.queue_depth",
     "serve.workers_busy",
     "serve.job_latency_us",
+    "serve.ledger_records",
+    "serve.recoveries",
+    "serve.jobs_recovered",
+    "serve.results_deduped",
+    "serve.orphans_adopted",
+    "serve.orphans_reaped",
 )
 
 #: Operational metrics of the scenario fuzzer (``repro fuzz``; one

@@ -666,6 +666,17 @@ class FarmTelemetry:
         self._count_instant()
         self.aggregator.discard(job_id, record.attempts)
 
+    def on_recover(self, readmitted: int, now_s: float) -> None:
+        """One controller recovery: the ledger was replayed into a new
+        controller and ``readmitted`` unfinished jobs went back in the
+        queue (docs/serving.md, *Controller failure & recovery*)."""
+        if not self.enabled:
+            return
+        self.recorder.instant(
+            "recover", self.now_us(now_s), self.recorder.ADMISSION_TID,
+            {"readmitted": readmitted})
+        self._count_instant()
+
     def on_strike(self, worker_id: int, op: str, now_s: float) -> None:
         if not self.enabled:
             return

@@ -1,6 +1,12 @@
 """Supervised simulation job farm (``repro serve``; docs/serving.md)."""
 
-from repro.serve.controller import Farm, FarmConfig, FarmReport, run_farm
+from repro.serve.controller import (
+    Farm,
+    FarmConfig,
+    FarmReport,
+    recover_farm,
+    run_farm,
+)
 from repro.serve.jobspec import (
     JobRecord,
     JobSpec,
@@ -8,6 +14,15 @@ from repro.serve.jobspec import (
     demo_jobs,
     load_jobs,
     save_jobs,
+)
+from repro.serve.ledger import (
+    JobLedger,
+    LedgerEntry,
+    fold_ledger,
+    ledger_is_stale,
+    read_ledger,
+    recovery_plan,
+    result_digest,
 )
 from repro.serve.queue import AdmissionQueue
 from repro.serve.retry import RetryPolicy
@@ -18,13 +33,21 @@ __all__ = [
     "Farm",
     "FarmConfig",
     "FarmReport",
+    "JobLedger",
     "JobRecord",
     "JobSpec",
     "JobState",
+    "LedgerEntry",
     "RetryPolicy",
     "WorkerPool",
     "demo_jobs",
+    "fold_ledger",
+    "ledger_is_stale",
     "load_jobs",
+    "read_ledger",
+    "recover_farm",
+    "recovery_plan",
+    "result_digest",
     "run_farm",
     "save_jobs",
 ]

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import signal
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -40,9 +42,29 @@ from repro.faults.farm import FarmChaosPlan
 from repro.obs.metrics import MetricsRegistry, labeled_name
 from repro.obs.telemetry import FarmTelemetry, TelemetryConfig
 from repro.serve.jobspec import JobRecord, JobSpec, JobState
+from repro.checkpoint import has_resumable_checkpoint
+from repro.serve.ledger import (
+    LEDGER_VERSION,
+    LIVENESS_NAME,
+    JobLedger,
+    clear_liveness,
+    controller_alive,
+    fold_ledger,
+    ledger_path,
+    read_ledger,
+    recovery_plan,
+    result_digest,
+    write_liveness,
+)
 from repro.serve.queue import AdmissionQueue
 from repro.serve.retry import RetryPolicy
-from repro.serve.supervisor import WorkerHandle, WorkerPool
+from repro.serve.supervisor import (
+    WorkerHandle,
+    WorkerPool,
+    cleanup_worker_state,
+    scan_worker_state,
+    worker_state_paths,
+)
 from repro.serve.worker import DEFAULT_CHECKPOINT_EVERY_US, result_path
 
 #: Bucket bounds for the job-latency histogram (microseconds of wall
@@ -150,6 +172,14 @@ class Farm:
         self._seq = 0
         self._starts = 0
         self._drained = asyncio.Event()
+        # Write-ahead ledger: every transition is journaled before it is
+        # applied in memory, so a controller SIGKILLed at any instant
+        # leaves a replayable record (docs/serving.md).
+        self.state_dir = self.workdir / "workers"
+        self.ledger = JobLedger(self.workdir)
+        self._controller_strikes: list[float] = []
+        self._epoch = 0
+        self._last_epoch_t = 0.0
         self.metrics = MetricsRegistry()
         # Register every serve.* instrument up front so the artifact
         # carries the full documented set even when a counter stays 0.
@@ -172,7 +202,13 @@ class Farm:
             hb_timeout_s=config.hb_timeout_s,
             checkpoint_every_us=config.checkpoint_every_us,
             telemetry=self.telemetry.worker_args(),
+            state_dir=self.state_dir,
         )
+
+    def _journal(self, kind: str, **fields) -> None:
+        """Write-ahead: journal one transition before applying it."""
+        self.ledger.append(kind, **fields)
+        self.metrics.counter("serve.ledger_records").inc()
 
     # ------------------------------------------------------------------
     # Admission
@@ -186,6 +222,8 @@ class Farm:
             self._seq += 1
             if not spec.job_id:
                 spec = spec.with_id(f"job-{self._seq:04d}")
+            self._journal("admitted", job=spec.job_id, seq=self._seq,
+                          spec=spec.to_dict())
             record = JobRecord(spec=spec, submitted_at=now, seq=self._seq)
             self.records.append(record)
             self.metrics.counter("serve.jobs_submitted").inc()
@@ -203,7 +241,19 @@ class Farm:
     # ------------------------------------------------------------------
 
     def _finish(self, record: JobRecord, state: str,
-                reason: str | None = None) -> None:
+                reason: str | None = None, journal: bool = True) -> None:
+        # journal=False replays a terminal state that an earlier
+        # generation already journaled (recovery's idempotent fold).
+        if journal:
+            if state == JobState.DONE:
+                self._journal("done", job=record.spec.job_id,
+                              attempt=record.attempts,
+                              digest=result_digest(record.result))
+            elif state == JobState.QUARANTINED:
+                self._journal("quarantined", job=record.spec.job_id,
+                              reason=reason)
+            else:
+                self._journal("shed", job=record.spec.job_id, reason=reason)
         record.state = state
         record.finished_at = time.monotonic()
         if reason is not None:
@@ -234,18 +284,24 @@ class Farm:
                           resume: bool) -> None:
         """One failed attempt: quarantine or schedule the backoff retry."""
         now = time.monotonic()
-        record.failures.append(reason)
-        record.worker = None
-        self.metrics.counter("serve.jobs_failed_attempts").inc()
         if record.attempts >= record.spec.max_attempts:
+            record.failures.append(reason)
+            record.worker = None
+            self.metrics.counter("serve.jobs_failed_attempts").inc()
             self._finish(
                 record, JobState.QUARANTINED,
                 f"quarantined after {record.attempts} failed attempts",
             )
             return
+        delay = self.config.retry.delay_s(record.spec.job_id, record.attempts)
+        self._journal("retry_scheduled", job=record.spec.job_id,
+                      attempt=record.attempts, resume=resume,
+                      delay_s=delay, reason=reason)
+        record.failures.append(reason)
+        record.worker = None
+        self.metrics.counter("serve.jobs_failed_attempts").inc()
         record.state = JobState.PENDING
         record.resume = resume
-        delay = self.config.retry.delay_s(record.spec.job_id, record.attempts)
         record.eligible_at = now + delay
         record.retries += 1
         self.metrics.counter("serve.retries").inc()
@@ -274,6 +330,12 @@ class Farm:
             payload = {"state": "failed", "error": "unreadable result file"}
         handle.job = None
         handle.strikes.clear()
+        self._fold_result_payload(record, payload)
+        return True
+
+    def _fold_result_payload(self, record: JobRecord, payload: dict) -> None:
+        """Apply one result-file payload to its record (shared with
+        recovery's orphan adoption, which folds the same files)."""
         state = payload.get("state")
         if state == "done":
             record.result = payload.get("result")
@@ -288,7 +350,6 @@ class Farm:
         else:
             self._register_failure(
                 record, payload.get("error", "job failed"), resume=False)
-        return True
 
     # ------------------------------------------------------------------
     # The three loops
@@ -299,12 +360,23 @@ class Farm:
             for handle in self.pool.busy_workers():
                 self._consume_result(handle)
             self._update_gauges()
-            self.telemetry.poll(time.monotonic())
+            now = time.monotonic()
+            # Periodic liveness epoch in the journal: a recovering
+            # controller can bound how long ago its predecessor died.
+            if now - self._last_epoch_t >= 0.25:
+                self._last_epoch_t = now
+                self._epoch += 1
+                self._journal("heartbeat_epoch", epoch=self._epoch)
+            self.telemetry.poll(now)
             await asyncio.sleep(self.config.poll_s)
 
     async def _supervise_loop(self) -> None:
         while True:
             now = time.monotonic()
+            # A due controller strike is an *unannounced* death -- no
+            # journal record, no telemetry -- exactly like a real crash.
+            if self._controller_strikes and min(self._controller_strikes) <= now:
+                os.kill(os.getpid(), signal.SIGKILL)
             # Fire due chaos strikes (armed at dispatch time).
             for handle in self.pool.busy_workers():
                 due = [s for s in handle.strikes if s[0] <= now]
@@ -362,6 +434,7 @@ class Farm:
             return
         if self._consume_result(victim):
             return  # finished in the nick of time; dispatcher reuses it
+        self._journal("preempted", job=victim.job.spec.job_id)
         job = self.pool.reap(victim)
         self.metrics.counter("serve.worker_restarts").inc()
         if job is None:
@@ -376,6 +449,9 @@ class Farm:
 
     def _dispatch(self, handle: WorkerHandle, record: JobRecord,
                   now: float) -> None:
+        self._journal("dispatched", job=record.spec.job_id,
+                      attempt=record.attempts + 1,
+                      worker=handle.worker_id, resume=record.resume)
         record.attempts += 1
         record.state = JobState.RUNNING
         record.worker = handle.worker_id
@@ -389,7 +465,12 @@ class Farm:
         if self.chaos is not None:
             fault = self.chaos.for_start(self._starts)
             if fault is not None:
-                handle.strikes.append((now + fault.delay_s, fault.op))
+                if fault.op == "controller_crash":
+                    # Aimed at us, not the worker: the supervisor loop
+                    # SIGKILLs this very process when the timer fires.
+                    self._controller_strikes.append(now + fault.delay_s)
+                else:
+                    handle.strikes.append((now + fault.delay_s, fault.op))
         self.telemetry.on_dispatch(record, handle.worker_id, now)
         handle.inbox.put({
             "spec": record.spec.to_dict(),
@@ -425,12 +506,240 @@ class Farm:
         }
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Replay a dead controller's ledger into this farm.
+
+        The sequence -- each step idempotent, so a crash *during*
+        recovery just means the next recovery starts over:
+
+        1. refuse if a live controller still owns the workdir;
+        2. fold the ledger's longest valid prefix into per-job entries
+           and derive the deterministic :func:`recovery_plan`;
+        3. adopt orphan workers: for each in-flight job whose worker is
+           still alive (pidfile + fresh heartbeat file), wait for its
+           result file; collect results the dead ones already wrote;
+        4. SIGKILL every leftover worker and clear the state dir -- the
+           new pool owns all the slots;
+        5. compact the ledger (atomic rotate) down to one ``admitted``
+           record per job (counters carried) plus terminal records;
+        6. fold: completed work re-lands by digest exactly once
+           (``journal=False`` -- it is already durable), unfinished
+           work is re-admitted with its remaining retry budget and
+           seed-derived backoff.
+
+        Returns the number of jobs re-admitted.  Call before
+        :meth:`run`; new submissions may follow.
+        """
+        if controller_alive(self.workdir):
+            raise ConfigError(
+                f"refusing to recover {self.workdir}: a live controller "
+                f"owns it (stale? remove {LIVENESS_NAME})")
+        entries = fold_ledger(read_ledger(ledger_path(self.workdir)))
+        if not entries:
+            raise ConfigError(
+                f"nothing to recover in {self.workdir}: the ledger has "
+                f"no replayable job records")
+        plan = recovery_plan(entries, self.config.retry)
+
+        # 3: orphan adoption.  Result files are believed over process
+        # state -- a worker that died *after* writing its result still
+        # delivered (the same believe-the-file rule _consume_result uses).
+        orphans = {row["worker_id"]: row
+                   for row in scan_worker_state(self.state_dir)}
+        payloads: dict[str, dict] = {}
+        adopted_workers: set[int] = set()
+        for item in plan:
+            if item["action"] != "adopt":
+                continue
+            entry = entries[item["job"]]
+            payload = self._read_result_file(entry.job_id, entry.attempts)
+            if payload is None:
+                row = orphans.get(entry.worker)
+                if row is not None and row["alive"]:
+                    payload = self._await_orphan_result(entry)
+            if payload is not None:
+                payloads[entry.job_id] = payload
+                row = orphans.get(entry.worker)
+                if row is not None and row["alive"]:
+                    adopted_workers.add(entry.worker)
+        self.metrics.counter("serve.orphans_adopted").inc(
+            float(len(adopted_workers)))
+        self.metrics.counter("serve.orphans_reaped").inc(
+            float(len(orphans) - len(adopted_workers)))
+
+        # 4: even adopted orphans are killed -- they sit blocked on the
+        # dead controller's inbox and their slot is about to be reused.
+        cleanup_worker_state(self.state_dir, kill=True)
+
+        # 5: compaction.  One admitted record per job (counters carried
+        # forward so a replay of *this* generation reconstructs the same
+        # budgets), plus the terminal record for finished jobs.  Jobs
+        # whose in-flight attempt produced a result keep that attempt
+        # number; voided attempts roll back by one.
+        compacted: list[dict] = [{
+            "v": LEDGER_VERSION, "t": time.time(),
+            "kind": "recovered", "jobs": len(entries),
+        }]
+        for item in plan:
+            entry = entries[item["job"]]
+            attempts = entry.attempts
+            if item["action"] == "adopt" and entry.job_id not in payloads:
+                attempts = entry.attempts - 1
+            compacted.append({
+                "v": LEDGER_VERSION, "t": time.time(), "kind": "admitted",
+                "job": entry.job_id, "seq": entry.seq, "spec": entry.spec,
+                "attempts": attempts, "retries": entry.retries,
+                "preemptions": entry.preemptions,
+            })
+            if entry.phase == "done":
+                compacted.append({
+                    "v": LEDGER_VERSION, "t": time.time(), "kind": "done",
+                    "job": entry.job_id, "attempt": entry.attempts,
+                    "digest": entry.digest,
+                })
+            elif entry.terminal:
+                compacted.append({
+                    "v": LEDGER_VERSION, "t": time.time(),
+                    "kind": entry.phase, "job": entry.job_id,
+                    "reason": entry.reason,
+                })
+        self.ledger.rotate(compacted)
+
+        # 6: the idempotent fold.
+        now = time.monotonic()
+        readmitted = 0
+        for item in plan:
+            entry = entries[item["job"]]
+            spec = JobSpec.from_dict(entry.spec)
+            record = JobRecord(
+                spec=spec, submitted_at=now, seq=entry.seq,
+                attempts=entry.attempts, retries=entry.retries,
+                preemptions=entry.preemptions,
+                failures=list(entry.failures),
+            )
+            self.records.append(record)
+            self._seq = max(self._seq, entry.seq)
+            self.metrics.counter("serve.jobs_submitted").inc()
+            self.telemetry.on_submit(record, now)
+            action = item["action"]
+            if action == "fold_done":
+                payload = self._read_result_file(entry.job_id,
+                                                 entry.attempts)
+                if (payload is not None and payload.get("state") == "done"
+                        and result_digest(payload.get("result"))
+                        == entry.digest):
+                    record.result = payload.get("result")
+                    record.worker = payload.get("worker")
+                    self.telemetry.on_result(record, payload)
+                    self.metrics.counter("serve.results_deduped").inc()
+                    self._finish(record, JobState.DONE, journal=False)
+                else:
+                    # The journal says done but the artifact is gone or
+                    # mismatched: re-running a deterministic job is the
+                    # safe repair (identical spec => identical bits).
+                    record.attempts = 0
+                    self._readmit(record, resume=False, delay_s=0.0,
+                                  now=now)
+                    readmitted += 1
+            elif action == "fold_quarantined":
+                self._finish(record, JobState.QUARANTINED, entry.reason,
+                             journal=False)
+            elif action == "fold_shed":
+                self._finish(record, JobState.SHED, entry.reason,
+                             journal=False)
+            elif action == "adopt":
+                payload = payloads.get(entry.job_id)
+                if payload is not None:
+                    record.attempts = item["attempt"]
+                    if payload.get("state") == "done":
+                        self.metrics.counter("serve.results_deduped").inc()
+                    self._fold_result_payload(record, payload)
+                else:
+                    record.attempts = item["attempt"] - 1
+                    self._readmit(
+                        record,
+                        resume=has_resumable_checkpoint(
+                            self.ckpt_root / entry.job_id),
+                        delay_s=0.0, now=now)
+                    readmitted += 1
+            else:  # readmit
+                resume = bool(item["resume"]) and has_resumable_checkpoint(
+                    self.ckpt_root / entry.job_id)
+                self._readmit(record, resume=resume,
+                              delay_s=item["delay_s"], now=now)
+                readmitted += 1
+        self.metrics.counter("serve.recoveries").inc()
+        self.telemetry.on_recover(readmitted, time.monotonic())
+        return readmitted
+
+    def _read_result_file(self, job_id: str, attempt: int) -> dict | None:
+        """One attempt's result payload, or None if absent/unreadable."""
+        if attempt < 1:
+            return None
+        path = result_path(self.results_dir, job_id, attempt)
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _await_orphan_result(self, entry) -> dict | None:
+        """Wait for a live orphan worker to deliver its result file.
+
+        Bounded by the job's own deadline (measured from its journaled
+        dispatch time) plus the heartbeat timeout; gives up early when
+        the orphan dies or its heartbeat file goes stale, with one last
+        read because death-right-after-writing still counts.
+        """
+        spec_timeout = float(entry.spec.get("timeout_s", 120.0))
+        budget = entry.dispatched_t + spec_timeout + self.config.hb_timeout_s
+        _, hb_path = worker_state_paths(self.state_dir, entry.worker)
+        pid_row = {row["worker_id"]: row
+                   for row in scan_worker_state(self.state_dir)}.get(
+                       entry.worker)
+        pid = pid_row["pid"] if pid_row else None
+        while True:
+            payload = self._read_result_file(entry.job_id, entry.attempts)
+            if payload is not None:
+                return payload
+            if time.time() > budget:
+                return None
+            alive = False
+            if pid is not None:
+                try:
+                    os.kill(pid, 0)
+                    alive = True
+                except OSError:
+                    alive = False
+            try:
+                hb_age = time.time() - hb_path.stat().st_mtime
+            except OSError:
+                hb_age = None
+            if not alive or (hb_age is not None
+                             and hb_age > self.config.hb_timeout_s):
+                return self._read_result_file(entry.job_id, entry.attempts)
+            time.sleep(0.05)
+
+    def _readmit(self, record: JobRecord, resume: bool, delay_s: float,
+                 now: float) -> None:
+        """Queue one recovered job with its surviving retry backoff."""
+        record.state = JobState.PENDING
+        record.resume = resume
+        record.eligible_at = now + delay_s
+        self.metrics.counter("serve.jobs_recovered").inc()
+        self.queue.restore([record])
+
+    # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
 
     async def run(self) -> FarmReport:
         """Drive every admitted job to a terminal state."""
         started = time.monotonic()
+        write_liveness(self.workdir)
         if all(r.terminal for r in self.records):
             self._drained.set()
         self.pool.start()
@@ -456,6 +765,8 @@ class Farm:
             await asyncio.gather(*tasks, return_exceptions=True)
             self.pool.shutdown()
         telemetry = self.telemetry.finalize(time.monotonic())
+        clear_liveness(self.workdir)
+        self.ledger.close()
         return FarmReport(records=self.records, metrics=self.metrics,
                           wall_s=time.monotonic() - started,
                           telemetry=telemetry)
@@ -472,8 +783,23 @@ class Farm:
 
 def run_farm(specs: Sequence[JobSpec], config: FarmConfig,
              workdir: str | Path,
-             chaos: FarmChaosPlan | None = None) -> FarmReport:
-    """Synchronous front door: submit a batch, run it to terminal states."""
+             chaos: FarmChaosPlan | None = None,
+             recover: bool = False) -> FarmReport:
+    """Synchronous front door: submit a batch, run it to terminal states.
+
+    With ``recover=True`` the dead predecessor's ledger is replayed
+    first (:meth:`Farm.recover`); ``specs`` may then add new work on
+    top of the re-admitted backlog.
+    """
     farm = Farm(config, workdir, chaos=chaos)
-    farm.submit(specs)
+    if recover:
+        farm.recover()
+    if specs:
+        farm.submit(specs)
     return asyncio.run(farm.run())
+
+
+def recover_farm(config: FarmConfig, workdir: str | Path,
+                 chaos: FarmChaosPlan | None = None) -> FarmReport:
+    """``repro serve recover``: replay the ledger, finish the batch."""
+    return run_farm([], config, workdir, chaos=chaos, recover=True)

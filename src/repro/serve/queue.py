@@ -72,6 +72,16 @@ class AdmissionQueue:
         """
         self._pending.append(record)
 
+    def restore(self, records: list[JobRecord]) -> None:
+        """Re-admit ledger-replayed jobs after controller recovery.
+
+        Like :meth:`requeue`, admission control is not re-run: the dead
+        controller already admitted these jobs (their ``admitted``
+        records are durable), so shedding them now would turn a
+        controller crash into job loss.
+        """
+        self._pending.extend(records)
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------

@@ -9,6 +9,13 @@ stream derived by :func:`repro.seeding.derive_rng` from
 ``(seed, job_id, attempt)`` keeps the whole schedule a pure function of
 its inputs: the unit tests assert the exact delays, and two farms with
 the same seed replay the same backoff.
+
+That purity is also what makes controller crash recovery reproducible:
+``repro.serve.ledger.recovery_plan`` recomputes every re-admitted job's
+backoff from the *same* ``(seed, job_id, attempt)`` triples the dead
+controller journaled, so a recovered farm's retry timetable is
+byte-identical to what the crashed one would have run (pinned by a
+hypothesis property in ``tests/test_serve_recovery.py``).
 """
 
 from __future__ import annotations

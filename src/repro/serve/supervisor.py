@@ -20,19 +20,33 @@ Design notes that keep a kill at *any* instant from wedging the farm:
 * Workers never share a writable structure with the controller at all:
   results travel as atomically written files (see
   :mod:`repro.serve.worker`).
+* With a ``state_dir``, each slot leaves an on-disk shadow of the
+  heartbeat array: a pidfile written at spawn and a heartbeat touch-file
+  stamped by the worker's heartbeat thread.  Workers are daemonic, but
+  daemon termination happens in the parent's *exit handlers* -- which a
+  SIGKILL of the controller never runs -- so orphaned workers survive a
+  controller crash, finish their in-flight job, write its result file,
+  and block on the dead inbox.  The pid + heartbeat files are how a
+  recovering controller finds them (:func:`scan_worker_state`), adopts
+  the fresh ones' results, and reaps the rest.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import re
 import signal
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ConfigError
+from repro.ioutil import atomic_write_json
 from repro.serve.jobspec import JobRecord
 from repro.serve.worker import worker_main
+
+_PIDFILE_RE = re.compile(r"^worker(\d+)\.pid$")
 
 
 def _mp_context():
@@ -41,6 +55,84 @@ def _mp_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def worker_state_paths(state_dir: str | Path,
+                       worker_id: int) -> tuple[Path, Path]:
+    """The (pidfile, heartbeat-file) pair of one worker slot."""
+    base = Path(state_dir)
+    return base / f"worker{worker_id}.pid", base / f"worker{worker_id}.hb"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (OSError, PermissionError):
+        return True
+    return True
+
+
+def scan_worker_state(state_dir: str | Path) -> list[dict]:
+    """Survey the on-disk worker state left behind in ``state_dir``.
+
+    Returns one row per pidfile: ``{"worker_id", "pid", "alive",
+    "hb_age_s"}`` (``hb_age_s`` is None when the heartbeat file never
+    appeared).  Used by controller crash recovery to tell still-running
+    orphans (pid alive, heartbeat fresh) from corpses and SIGSTOPped
+    zombies, and by ``serve drain`` to report what it cleaned up.
+    """
+    base = Path(state_dir)
+    if not base.is_dir():
+        return []
+    rows = []
+    now = time.time()
+    for path in sorted(base.iterdir()):
+        match = _PIDFILE_RE.match(path.name)
+        if not match:
+            continue
+        worker_id = int(match.group(1))
+        try:
+            import json
+
+            pid = int(json.loads(path.read_text())["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+        _, hb_path = worker_state_paths(base, worker_id)
+        try:
+            hb_age = now - hb_path.stat().st_mtime
+        except OSError:
+            hb_age = None
+        rows.append({"worker_id": worker_id, "pid": pid,
+                     "alive": _pid_alive(pid), "hb_age_s": hb_age})
+    return rows
+
+
+def cleanup_worker_state(state_dir: str | Path, kill: bool = False) -> int:
+    """Remove stale worker pid/heartbeat files; returns files removed.
+
+    Without ``kill``, state belonging to a still-running pid is left
+    alone (``serve drain`` must not destroy a live farm's bookkeeping);
+    with ``kill`` (recovery), live orphans are SIGKILLed first so their
+    slots can be reused safely.
+    """
+    removed = 0
+    for row in scan_worker_state(state_dir):
+        if row["alive"]:
+            if not kill:
+                continue
+            try:
+                os.kill(row["pid"], signal.SIGKILL)
+            except OSError:
+                pass
+        for path in worker_state_paths(state_dir, row["worker_id"]):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
 
 
 @dataclass
@@ -74,7 +166,8 @@ class WorkerPool:
     def __init__(self, size: int, results_dir: str, ckpt_root: str,
                  hb_interval_s: float = 0.05, hb_timeout_s: float = 5.0,
                  checkpoint_every_us: float | None = None,
-                 telemetry: dict | None = None) -> None:
+                 telemetry: dict | None = None,
+                 state_dir: str | Path | None = None) -> None:
         if size < 1:
             raise ConfigError(f"worker pool needs >= 1 worker, got {size}")
         if hb_timeout_s <= hb_interval_s:
@@ -94,6 +187,11 @@ class WorkerPool:
         #: Plain-dict telemetry wiring shipped to every worker spawn
         #: (:meth:`repro.obs.telemetry.TelemetryConfig.worker_args`).
         self.telemetry = telemetry
+        #: Where pidfiles and heartbeat touch-files shadow the pool
+        #: (None = no on-disk worker state, the pre-recovery behavior).
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
         # lock=False deliberately: no cross-process lock to orphan.
         self.beats = self.ctx.Array("d", size, lock=False)
         self.workers = [WorkerHandle(worker_id=i) for i in range(size)]
@@ -106,15 +204,27 @@ class WorkerPool:
         """(Re)start one slot with a fresh process and a fresh inbox."""
         handle.inbox = self.ctx.Queue()
         self.beats[handle.worker_id] = time.monotonic()
+        hb_path = None
+        if self.state_dir is not None:
+            _, hb_path = worker_state_paths(self.state_dir, handle.worker_id)
+            hb_path = str(hb_path)
         handle.process = self.ctx.Process(
             target=worker_main,
             args=(handle.worker_id, handle.inbox, self.beats,
                   self.results_dir, self.ckpt_root, self.hb_interval_s,
-                  self.checkpoint_every_us, self.telemetry),
+                  self.checkpoint_every_us, self.telemetry, hb_path),
             name=f"repro-worker-{handle.worker_id}",
             daemon=True,
         )
         handle.process.start()
+        if self.state_dir is not None:
+            pid_path, _ = worker_state_paths(self.state_dir, handle.worker_id)
+            atomic_write_json(pid_path, {
+                "version": 1,
+                "worker_id": handle.worker_id,
+                "pid": handle.process.pid,
+                "spawned_t": time.time(),
+            })
 
     def start(self) -> None:
         for handle in self.workers:
@@ -210,3 +320,13 @@ class WorkerPool:
                 except OSError:
                     pass
                 handle.process.join(timeout=5.0)
+        # A clean shutdown owes the next controller an empty state dir:
+        # leftover pid/heartbeat files are the "orphans here" signal.
+        if self.state_dir is not None:
+            for handle in self.workers:
+                for path in worker_state_paths(self.state_dir,
+                                               handle.worker_id):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass

@@ -170,9 +170,24 @@ def execute_job(spec, job_dir: Path, resume: bool,
     return chaos_report_dict(report)
 
 
-def _heartbeat_loop(beats, worker_id: int, interval_s: float) -> None:
+def _heartbeat_loop(beats, worker_id: int, interval_s: float,
+                    hb_path: str | None = None) -> None:
+    """Stamp the shared array (and, with ``hb_path``, touch the on-disk
+    heartbeat file -- the shared array dies with the controller that
+    created it, so a *recovering* controller reads freshness from the
+    file's mtime instead)."""
+    import os
+
     while True:
         beats[worker_id] = time.monotonic()
+        if hb_path is not None:
+            try:
+                os.utime(hb_path)
+            except OSError:
+                try:
+                    open(hb_path, "w").close()
+                except OSError:
+                    pass
         time.sleep(interval_s)
 
 
@@ -212,7 +227,8 @@ def _telemetry_flush_loop(slot: dict, worker_id: int, telemetry_dir: str,
 def worker_main(worker_id: int, inbox, beats, results_dir: str,
                 ckpt_root: str, hb_interval_s: float,
                 checkpoint_every_us: float = DEFAULT_CHECKPOINT_EVERY_US,
-                telemetry: dict | None = None) -> None:
+                telemetry: dict | None = None,
+                hb_path: str | None = None) -> None:
     """Worker process entry point (the multiprocessing target).
 
     ``telemetry`` (from :meth:`repro.obs.telemetry.TelemetryConfig.
@@ -220,12 +236,22 @@ def worker_main(worker_id: int, inbox, beats, results_dir: str,
     to ``<dir>/worker<id>.json`` every ``flush_every_s`` and ride the
     result payload as the final delta; with ``traces_dir`` set, each
     attempt's Chrome trace lands there for the merged farm timeline.
+
+    ``hb_path`` mirrors the heartbeat into an on-disk touch-file so a
+    controller that replaced a crashed one can judge this worker's
+    freshness (docs/serving.md, *Controller failure & recovery*).
     """
     from repro.serve.jobspec import JobSpec
 
     beats[worker_id] = time.monotonic()
+    if hb_path is not None:
+        try:
+            open(hb_path, "w").close()
+        except OSError:
+            hb_path = None
     thread = threading.Thread(
-        target=_heartbeat_loop, args=(beats, worker_id, hb_interval_s),
+        target=_heartbeat_loop,
+        args=(beats, worker_id, hb_interval_s, hb_path),
         name=f"heartbeat-{worker_id}", daemon=True,
     )
     thread.start()

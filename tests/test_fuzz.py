@@ -113,7 +113,7 @@ class TestCampaign:
         assert report.ok
         assert report.families_run == list(ORACLE_NAMES)
         assert not report.families_skipped
-        expected = 6 * FUZZ_PROFILES["smoke"].examples_per_family
+        expected = 7 * FUZZ_PROFILES["smoke"].examples_per_family
         assert report.scenarios == expected
         assert report.oracle_checks >= expected
         assert report.runs > report.scenarios  # several runs per oracle

@@ -501,4 +501,6 @@ def test_top_once_renders_and_emits_json(tmp_path, capsys):
 def test_top_without_snapshot_fails(tmp_path, capsys):
     assert main(["top", "--workdir", str(tmp_path),
                  "--once"]) == int(ExitCode.FAILURE)
-    assert "no telemetry snapshot" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "no telemetry yet" in err
+    assert "farm not started" in err  # says *why*, not just that it failed
